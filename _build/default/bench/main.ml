@@ -1,0 +1,546 @@
+(* The benchmark harness: one driver per table/figure of the paper (see
+   DESIGN.md's experiment index), each printing the paper-shaped rows with
+   measured values, followed by a Bechamel wall-clock suite with one
+   Test.make per experiment driver.
+
+   Run with: dune exec bench/main.exe            (all experiments)
+             dune exec bench/main.exe -- T1 F-DT (a subset) *)
+
+open Ssmst_graph
+open Ssmst_sim
+open Ssmst_core
+
+let line () = Fmt.pr "%s@." (String.make 78 '-')
+
+let header title =
+  Fmt.pr "@.%s@." (String.make 78 '=');
+  Fmt.pr "%s@." title;
+  Fmt.pr "%s@." (String.make 78 '=')
+
+let logn n = Memory.of_nat n
+
+(* ==================================================================== *)
+(* T1 — Table 1: self-stabilizing MST construction algorithms            *)
+(* ==================================================================== *)
+
+let table1 () =
+  header
+    "T1 / Table 1 — self-stabilizing MST construction: space (bits/node) x time (rounds)";
+  Fmt.pr "%-28s %-6s %12s %14s %10s@." "algorithm" "n" "bits/node" "rounds" "rounds/n";
+  line ();
+  List.iter
+    (fun n ->
+      let st = Gen.rng (3000 + n) in
+      let g = Gen.random_connected st n in
+      let hl = Ssmst_baselines.Higham_liang.run g in
+      Fmt.pr "%-28s %-6d %12d %14d %10.1f@." "Higham-Liang-style [48]" n
+        hl.Ssmst_baselines.Higham_liang.memory_bits hl.Ssmst_baselines.Higham_liang.rounds
+        (float_of_int hl.Ssmst_baselines.Higham_liang.rounds /. float_of_int n);
+      let bl = Ssmst_baselines.Blin.run g in
+      Fmt.pr "%-28s %-6d %12d %14d %10.1f@." "Blin et al.-style [17]" n
+        bl.Ssmst_baselines.Blin.memory_bits bl.Ssmst_baselines.Blin.rounds
+        (float_of_int bl.Ssmst_baselines.Blin.rounds /. float_of_int n);
+      let t = Transformer.create g in
+      Transformer.advance t ~rounds:50;
+      Fmt.pr "%-28s %-6d %12d %14d %10.1f@." "this paper (transformer)" n
+        (Transformer.memory_bits t)
+        (Transformer.stabilization_rounds t)
+        (float_of_int (Transformer.stabilization_rounds t) /. float_of_int n);
+      line ())
+    [ 32; 64; 128; 256 ];
+  Fmt.pr
+    "paper's claim: [48]-style O(log n) bits x Theta(n|E|) time; [17]-style O(log^2 n)\n\
+     bits x Theta(n^2) time; this paper O(log n) bits x O(n) time.@."
+
+(* ==================================================================== *)
+(* T2 — Table 2 / Figure 1: the worked 18-node example                   *)
+(* ==================================================================== *)
+
+let fig1_graph () =
+  (* A fixed 18-node tree in the spirit of Figure 1 (the exact topology of
+     the figure is not recoverable from the paper's text; see
+     EXPERIMENTS.md).  Node names a..r. *)
+  let edges =
+    [
+      (0, 1, 2); (5, 6, 6); (1, 6, 18); (2, 6, 12); (3, 7, 10); (4, 8, 15);
+      (7, 8, 11); (2, 7, 20); (9, 10, 4); (14, 15, 8); (10, 15, 16);
+      (11, 16, 3); (12, 17, 7); (12, 13, 14); (11, 12, 17); (10, 11, 21);
+      (6, 11, 22);
+    ]
+  in
+  Graph.of_edges ~n:18 edges
+
+let node_name v = String.make 1 (Char.chr (Char.code 'a' + v))
+
+let table2 () =
+  header "T2 / Table 2 + Figure 1 — Roots, EndP, Parents, Or-EndP strings";
+  let g = fig1_graph () in
+  let m = Marker.run g in
+  let labels = Labels.of_hierarchy m.hierarchy in
+  let len = labels.(0).Labels.len in
+  let pr_table name cell =
+    Fmt.pr "@.%-8s" name;
+    for j = 0 to len - 1 do
+      Fmt.pr "%-6d" j
+    done;
+    Fmt.pr "@.";
+    for v = 0 to 17 do
+      Fmt.pr "%-8s" (node_name v);
+      for j = 0 to len - 1 do
+        Fmt.pr "%-6s" (cell v j)
+      done;
+      Fmt.pr "@."
+    done
+  in
+  Fmt.pr "hierarchy height: %d (levels 0..%d); MST weight %d@." m.hierarchy.height
+    m.hierarchy.height (Tree.total_base_weight m.tree);
+  pr_table "Roots" (fun v j -> Fmt.str "%a" Labels.pp_rsym labels.(v).Labels.roots.(j));
+  pr_table "EndP" (fun v j -> Fmt.str "%a" Labels.pp_esym labels.(v).Labels.endp.(j));
+  pr_table "Parents" (fun v j -> if labels.(v).Labels.parents.(j) then "1" else "0");
+  pr_table "Or-EndP" (fun v j -> if labels.(v).Labels.cnt.(j) > 0 then "1" else "0");
+  (* machine-check legality, as the paper's Table 2 is claimed legal *)
+  let vw = Labels.view_of_tree m.tree labels in
+  let ok = List.for_all (fun v -> Labels.check_node vw v = []) (List.init 18 Fun.id) in
+  Fmt.pr "@.RS0-RS5 and EPS0-EPS5 legality of all strings: %b@." ok
+
+(* ==================================================================== *)
+(* F-DT — detection time vs n (Theorem 8.5)                              *)
+(* ==================================================================== *)
+
+let live_piece_targets (m : Marker.t) =
+  (* (node, which part, own-index, level) of every *live* stored piece: one
+     whose fragment actually intersects the part carrying it.  Corrupting a
+     dead-cargo piece (an ancestor of a split part's red seed that misses
+     the part entirely) is semantically null and correctly ignored by the
+     verifier. *)
+  let g = m.Marker.graph in
+  let fragment_of (pc : Pieces.t) =
+    Array.to_list m.Marker.hierarchy.Fragment.frags
+    |> List.find_opt (fun (f : Fragment.t) ->
+           f.Fragment.level = pc.Pieces.level && Graph.id g f.Fragment.root = pc.Pieces.root_id)
+  in
+  let acc = ref [] in
+  Array.iteri
+    (fun v (_ : Marker.node_label) ->
+      let l = m.Marker.labels.(v) in
+      let consider which (pl : Partition.node_part_label) part_ix =
+        let part = m.Marker.assignment.Partition.parts.(part_ix) in
+        Array.iteri
+          (fun k (pc : Pieces.t) ->
+            match fragment_of pc with
+            | Some f
+              when List.exists (fun u -> Fragment.mem f u) part.Partition.members ->
+                acc := (v, which, k, pc.Pieces.level) :: !acc
+            | Some _ | None -> ())
+          pl.Partition.own
+      in
+      consider `Top l.Marker.top m.Marker.assignment.Partition.top_of.(v);
+      consider `Bottom l.Marker.bot m.Marker.assignment.Partition.bot_of.(v))
+    m.Marker.labels;
+  !acc
+
+let semantic_fault_at rng (m : Marker.t) =
+  (* prefer the highest-level live piece: the Ask cycle reaches it last *)
+  match live_piece_targets m with
+  | [] -> None
+  | targets ->
+      let best = List.fold_left (fun acc (_, _, _, l) -> max acc l) (-1) targets in
+      let top_targets = List.filter (fun (_, _, _, l) -> l >= max 1 (best - 1)) targets in
+      let pick = if top_targets = [] then targets else top_targets in
+      Some (List.nth pick (Random.State.int rng (List.length pick)))
+
+let corrupt_live_piece rng (s : Verifier.state) which k =
+  let bump (pl : Partition.node_part_label) =
+    let own = Array.copy pl.Partition.own in
+    let w = own.(k).Pieces.weight in
+    own.(k) <-
+      {
+        (own.(k)) with
+        Pieces.weight = { w with Weight.base = w.Weight.base + 1 + Random.State.int rng 7 };
+      };
+    { pl with Partition.own = own }
+  in
+  let label =
+    match which with
+    | `Top -> { s.Verifier.label with Marker.top = bump s.Verifier.label.Marker.top }
+    | `Bottom -> { s.Verifier.label with Marker.bot = bump s.Verifier.label.Marker.bot }
+  in
+  { s with Verifier.label; cmp = Verifier.cmp_init; alarm = false }
+
+let detection_sample ~mode ~daemon ~seed n =
+  let st = Gen.rng seed in
+  let g = Gen.random_connected st n in
+  let m = Marker.run g in
+  let module C = struct
+    let marker = m
+    let mode = mode
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let net = Net.create g in
+  Net.run net daemon ~rounds:(8 * Verifier.window_bound m.labels.(0));
+  if Net.any_alarm net then None
+  else
+    let rng = Gen.rng (seed + 1) in
+    match semantic_fault_at rng m with
+    | None -> None
+    | Some (v, which, k, _) -> (
+        Net.set_state net v (corrupt_live_piece rng (Net.state net v) which k);
+        match Net.detection_time net daemon ~max_rounds:200000 with
+        | Some dt -> Some (dt, Net.detection_distance net ~faults:[ v ])
+        | None -> None)
+
+let fig_detection_time () =
+  header "F-DT — detection time after a semantic fault (sync O(log^2 n); Thm 8.5)";
+  Fmt.pr "%-6s %-8s %8s %8s %14s %10s@." "n" "log2 n" "avg" "max" "max/log^2n" "samples";
+  line ();
+  List.iter
+    (fun n ->
+      let samples =
+        List.filter_map
+          (fun i -> detection_sample ~mode:Verifier.Passive ~daemon:Scheduler.Sync ~seed:(4000 + n + i) n)
+          [ 0; 1; 2; 3; 4 ]
+      in
+      match samples with
+      | [] -> Fmt.pr "%-6d (no detectable semantic fault found)@." n
+      | _ ->
+          let dts = List.map (fun (dt, _) -> dt) samples in
+          let avg = float_of_int (List.fold_left ( + ) 0 dts) /. float_of_int (List.length dts) in
+          let worst = List.fold_left max 0 dts in
+          let l = float_of_int (logn n) in
+          Fmt.pr "%-6d %-8d %8.0f %8d %14.1f %10d@." n (logn n) avg worst
+            (float_of_int worst /. (l *. l))
+            (List.length samples))
+    [ 16; 32; 64; 128; 256; 512 ];
+  Fmt.pr "shape check: rounds/log^2 n should stay bounded as n grows.@."
+
+(* ==================================================================== *)
+(* F-ASY — sync vs async detection (Lemmas 7.5 / 7.6)                    *)
+(* ==================================================================== *)
+
+let ask_cycle_time ~mode ~daemon ~seed n =
+  (* rounds for the maximum-degree node to complete one full Ask cycle:
+     the quantity bounded by O(log^2 n) sync / O(Delta log^3 n) async *)
+  let st = Gen.rng seed in
+  let g = Gen.random_connected st n in
+  let m = Marker.run g in
+  let module C = struct
+    let marker = m
+    let mode = mode
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let net = Net.create g in
+  (* highest-degree node that iterates at least two comparison levels (a
+     single-level node never changes ask_level, so no cycle is observable) *)
+  let levels_of u =
+    let l = m.Marker.labels.(u).Marker.strings in
+    let ell = l.Labels.len - 1 in
+    List.length
+      (List.filter (fun j -> l.Labels.roots.(j) <> Labels.RStar) (List.init (max 0 ell) Fun.id))
+  in
+  let v = ref (-1) in
+  for u = 0 to n - 1 do
+    if levels_of u >= 2 && (!v < 0 || Graph.degree g u > Graph.degree g !v) then v := u
+  done;
+  if !v < 0 then None
+  else begin
+  let v = !v in
+  Net.run net daemon ~rounds:(4 * Verifier.window_bound m.labels.(0));
+  let first_level = (Net.state net v).Verifier.cmp.Verifier.ask_level in
+  if first_level < 0 then None
+  else begin
+    (* wait to leave the level, then time the return to it *)
+    let budget = ref 300_000 and phase = ref `Leave and start = ref 0 and answer = ref None in
+    while !answer = None && !budget > 0 do
+      Net.round net daemon;
+      decr budget;
+      let lvl = (Net.state net v).Verifier.cmp.Verifier.ask_level in
+      match !phase with
+      | `Leave -> if lvl <> first_level then (phase := `Return; start := Net.rounds net)
+      | `Return -> if lvl = first_level then answer := Some (Net.rounds net - !start)
+    done;
+    !answer
+  end
+  end
+
+let fig_async_gap () =
+  header "F-ASY — Ask-cycle time: synchronous passive vs asynchronous handshake";
+  Fmt.pr "%-6s %-6s %-8s %12s %14s %12s@." "n" "Delta" "log2 n" "sync cycle" "async cycle"
+    "async/sync";
+  line ();
+  List.iter
+    (fun n ->
+      let st = Gen.rng (4600 + n) in
+      let delta = Graph.max_degree (Gen.random_connected st n) in
+      let sync = ask_cycle_time ~mode:Verifier.Passive ~daemon:Scheduler.Sync ~seed:(4600 + n) n in
+      let async =
+        ask_cycle_time ~mode:Verifier.Handshake
+          ~daemon:(Scheduler.Async_random (Gen.rng (4700 + n)))
+          ~seed:(4600 + n) n
+      in
+      match (sync, async) with
+      | Some s, Some a ->
+          Fmt.pr "%-6d %-6d %-8d %12d %14d %12.1f@." n delta (logn n) s a
+            (float_of_int a /. float_of_int s)
+      | _ -> Fmt.pr "%-6d (no cycle observed)@." n)
+    [ 16; 32; 64; 128 ];
+  Fmt.pr
+    "bounds: sync O(log^2 n) (Lemma 7.5) vs async O(Delta log^3 n) (Lemma 7.6).\n\
+     The sync passive mode pays its bound up front (fixed full-cycle windows\n\
+     guarantee passive observation); the async handshake confirms each comparison\n\
+     actively and advances early, so its *typical* cycle is shorter while its\n\
+     worst case is a Delta*log n factor above the synchronous one.@."
+
+(* ==================================================================== *)
+(* F-DD — detection distance vs number of faults f (O(f log n))          *)
+(* ==================================================================== *)
+
+let fig_detection_distance () =
+  header "F-DD — detection distance vs number of faults (O(f log n) locality)";
+  Fmt.pr "%-6s %-6s %14s %14s@." "n" "f" "max distance" "f*log n";
+  line ();
+  let n = 128 in
+  List.iter
+    (fun f ->
+      let st = Gen.rng (4800 + f) in
+      let g = Gen.random_connected st n in
+      let m = Marker.run g in
+      let module C = struct
+        let marker = m
+        let mode = Verifier.Passive
+      end in
+      let module P = Verifier.Make (C) in
+      let module Net = Network.Make (P) in
+      let net = Net.create g in
+      Net.run net Scheduler.Sync ~rounds:600;
+      let faults = Net.inject_faults net (Gen.rng (4900 + f)) ~count:f in
+      (match Net.detection_time net Scheduler.Sync ~max_rounds:100000 with
+      | Some _ ->
+          let d = Net.detection_distance net ~faults in
+          Fmt.pr "%-6d %-6d %14s %14d@." n f
+            (match d with Some x -> string_of_int x | None -> "?")
+            (f * logn n)
+      | None -> Fmt.pr "%-6d %-6d (faults semantically null)@." n f))
+    [ 1; 2; 4; 8; 16 ];
+  Fmt.pr "shape check: the distance column stays below (and scales no faster than) f*log n.@."
+
+(* ==================================================================== *)
+(* F-CT — construction time (Theorem 4.4: SYNC_MST is O(n))              *)
+(* ==================================================================== *)
+
+let fig_construction_time () =
+  header "F-CT — construction time: SYNC_MST (O(n)) vs GHS (O(n log n)), marker included";
+  Fmt.pr "%-6s %14s %10s %14s %10s %14s@." "n" "SYNC_MST" "/n" "GHS" "/n" "marker total";
+  line ();
+  List.iter
+    (fun n ->
+      let st = Gen.rng (5000 + n) in
+      let g = Gen.random_connected st n in
+      let r = Sync_mst.run g in
+      let ghs = Ssmst_baselines.Ghs.run g in
+      let m = Marker.run g in
+      Fmt.pr "%-6d %14d %10.1f %14d %10.1f %14d@." n r.rounds
+        (float_of_int r.rounds /. float_of_int n)
+        ghs.Ssmst_baselines.Ghs.rounds
+        (float_of_int ghs.Ssmst_baselines.Ghs.rounds /. float_of_int n)
+        m.construction_rounds)
+    [ 32; 64; 128; 256; 512; 1024 ];
+  Fmt.pr "shape check: SYNC_MST and marker columns stay linear (bounded /n).@."
+
+(* ==================================================================== *)
+(* F-MEM — memory: compact scheme O(log n) vs KKP 1-PLS Theta(log^2 n)   *)
+(* ==================================================================== *)
+
+let fig_memory () =
+  header "F-MEM — label memory: this paper's O(log n) vs the 1-round PLS Omega(log^2 n)";
+  Fmt.pr "%-6s %-8s %14s %12s %14s %12s@." "n" "log2 n" "compact bits" "/log n" "KKP bits"
+    "/log^2 n";
+  line ();
+  List.iter
+    (fun n ->
+      let st = Gen.rng (5100 + n) in
+      let g = Gen.random_connected st n in
+      let m = Marker.run g in
+      let kkp = Ssmst_pls.Kkp_pls.mark m in
+      let l = float_of_int (logn n) in
+      Fmt.pr "%-6d %-8d %14d %12.1f %14d %12.1f@." n (logn n) m.label_bits
+        (float_of_int m.label_bits /. l)
+        (Ssmst_pls.Kkp_pls.max_bits kkp)
+        (float_of_int (Ssmst_pls.Kkp_pls.max_bits kkp) /. (l *. l)))
+    [ 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ];
+  Fmt.pr "shape check: compact/log n bounded; KKP/log^2 n bounded while KKP/compact grows.@."
+
+(* ==================================================================== *)
+(* F-LB — the Section 9 lower-bound trade-off                            *)
+(* ==================================================================== *)
+
+let fig_lower_bound () =
+  header "F-LB — Section 9: time x memory trade-off on (subdivided) hypertree instances";
+  Fmt.pr "%-4s %-4s %-6s | %-26s | %-26s@." "h" "tau" "n" "compact: bits, det. rounds"
+    "KKP 1-PLS: bits, det. rounds";
+  line ();
+  List.iter
+    (fun (h, tau) ->
+      let c = Lower_bound.measure ~seed:(5200 + h + tau) ~h ~tau ~positive:false in
+      let k, _ =
+        Ssmst_pls.Kkp_pls.measure_lower_bound ~seed:(5200 + h + tau) ~h ~tau ~positive:false
+      in
+      Fmt.pr "%-4d %-4d %-6d | %10d bits, %a rounds | %10d bits, %a rounds@." h tau
+        c.Lower_bound.n c.Lower_bound.label_bits
+        Fmt.(option ~none:(any "-") int)
+        c.Lower_bound.detection_rounds k.Lower_bound.label_bits
+        Fmt.(option ~none:(any "-") int)
+        k.Lower_bound.detection_rounds)
+    [ (3, 0); (4, 0); (5, 0); (6, 0); (3, 1); (4, 1); (3, 2) ];
+  Fmt.pr
+    "Lemma 9.1: tau-round verification with l-bit labels on G' gives a 1-round scheme\n\
+     with O(tau*l)-bit labels on G, and [54] forces tau*l = Omega(log^2 n): compact\n\
+     labels cannot detect in O(1) rounds.@."
+
+(* ==================================================================== *)
+(* ABL — ablations of the two design knobs DESIGN.md calls out            *)
+(* ==================================================================== *)
+
+(* A1: the top/bottom threshold.  The paper sets it to log n; smaller
+   thresholds make more, smaller top parts (longer piece lists relative to
+   part size); larger ones grow part diameters and bottom parts. *)
+let ablation_threshold () =
+  header "ABL-1 — partition threshold sensitivity (paper: threshold = log2 n)";
+  Fmt.pr "%-12s %-8s %10s %12s %12s %12s@." "threshold" "parts" "max |P|" "max diam" "max k"
+    "label bits";
+  line ();
+  let n = 128 in
+  let st = Gen.rng 7000 in
+  let g = Gen.random_connected st n in
+  List.iter
+    (fun t ->
+      let m = Marker.run ~threshold:t g in
+      let parts = m.Marker.assignment.Partition.parts in
+      let maxp =
+        Array.fold_left (fun acc (p : Partition.part) -> max acc (List.length p.Partition.members)) 0 parts
+      in
+      let maxd = Array.fold_left (fun acc (p : Partition.part) -> max acc p.Partition.diameter) 0 parts in
+      let maxk =
+        Array.fold_left (fun acc (p : Partition.part) -> max acc (Array.length p.Partition.pieces)) 0 parts
+      in
+      Fmt.pr "%-12d %-8d %10d %12d %12d %12d@." t (Array.length parts) maxp maxd maxk
+        m.Marker.label_bits)
+    [ 2; 4; logn n; 2 * logn n; 4 * logn n ];
+  Fmt.pr
+    "the paper's threshold balances part diameter (Top detection latency) against\n\
+     bottom-part train length; both extremes inflate one of the columns.@."
+
+(* A2: the comparison window factor.  Windows shorter than a train cycle
+   miss comparisons (semantic faults go undetected); longer windows only
+   stretch the Ask cycle linearly. *)
+let ablation_window () =
+  header "ABL-2 — comparison window factor (paper: a full train cycle per level)";
+  Fmt.pr "%-10s %14s %18s@." "factor" "detected" "avg detection rounds";
+  line ();
+  let n = 32 in
+  let saved = !Verifier.window_factor in
+  List.iter
+    (fun factor ->
+      Verifier.window_factor := factor;
+      let samples =
+        List.filter_map
+          (fun i ->
+            detection_sample ~mode:Verifier.Passive ~daemon:Scheduler.Sync ~seed:(7100 + i) n)
+          [ 0; 1; 2; 3; 4 ]
+      in
+      let dts = List.map fst samples in
+      let avg =
+        match dts with
+        | [] -> Float.nan
+        | _ -> float_of_int (List.fold_left ( + ) 0 dts) /. float_of_int (List.length dts)
+      in
+      Fmt.pr "%-10d %10d / 5 %18.0f@." factor (List.length samples) avg)
+    [ 2; 5; 10; 20; 40; 80 ];
+  Verifier.window_factor := saved;
+  Fmt.pr
+    "too-small windows end a level before the neighbours' trains complete a cycle,\n\
+     so semantic faults can escape comparison; beyond one full cycle, larger\n\
+     factors only slow the Ask rotation (and hence detection) linearly.@."
+
+(* ==================================================================== *)
+(* Bechamel wall-clock suite: one Test.make per experiment driver        *)
+(* ==================================================================== *)
+
+let bechamel_suite () =
+  header "wall-clock micro-benchmarks (Bechamel; ns per driver run)";
+  let open Bechamel in
+  let open Toolkit in
+  let quick_graph n seed =
+    let st = Gen.rng seed in
+    Gen.random_connected st n
+  in
+  let g64 = quick_graph 64 6000 in
+  let m64 = Marker.run g64 in
+  let tests =
+    [
+      Test.make ~name:"T1:higham-liang-n64"
+        (Staged.stage (fun () -> ignore (Ssmst_baselines.Higham_liang.run g64)));
+      Test.make ~name:"T1:blin-n64" (Staged.stage (fun () -> ignore (Ssmst_baselines.Blin.run g64)));
+      Test.make ~name:"T2:marker-fig1" (Staged.stage (fun () -> ignore (Marker.run (fig1_graph ()))));
+      Test.make ~name:"F-CT:sync-mst-n64" (Staged.stage (fun () -> ignore (Sync_mst.run g64)));
+      Test.make ~name:"F-CT:ghs-n64"
+        (Staged.stage (fun () -> ignore (Ssmst_baselines.Ghs.run g64)));
+      Test.make ~name:"F-MEM:kkp-mark-n64"
+        (Staged.stage (fun () -> ignore (Ssmst_pls.Kkp_pls.mark m64)));
+      Test.make ~name:"F-DT:verifier-100-rounds-n64"
+        (Staged.stage (fun () ->
+             let module C = struct
+               let marker = m64
+               let mode = Verifier.Passive
+             end in
+             let module P = Verifier.Make (C) in
+             let module Net = Network.Make (P) in
+             let net = Net.create g64 in
+             Net.run net Scheduler.Sync ~rounds:100));
+      Test.make ~name:"F-LB:hypertree-instance"
+        (Staged.stage (fun () ->
+             ignore (Lower_bound.measure ~seed:6001 ~h:4 ~tau:0 ~positive:false)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let ols =
+            Analyze.one
+              (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+              Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "%-36s %14.0f ns/run@." (Test.Elt.name elt) est
+          | _ -> Fmt.pr "%-36s (no estimate)@." (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+(* ==================================================================== *)
+
+let all_experiments =
+  [
+    ("T1", table1);
+    ("T2", table2);
+    ("F-DT", fig_detection_time);
+    ("F-ASY", fig_async_gap);
+    ("F-DD", fig_detection_distance);
+    ("F-CT", fig_construction_time);
+    ("F-MEM", fig_memory);
+    ("F-LB", fig_lower_bound);
+    ("ABL", (fun () -> ablation_threshold (); ablation_window ()));
+    ("BENCH", bechamel_suite);
+  ]
+
+let () =
+  let requested = Array.to_list Sys.argv |> List.tl in
+  let to_run =
+    if requested = [] then all_experiments
+    else List.filter (fun (name, _) -> List.mem name requested) all_experiments
+  in
+  List.iter (fun (_, f) -> f ()) to_run;
+  Fmt.pr "@.all experiments completed.@."

@@ -1,0 +1,208 @@
+(* msst — command-line driver for the self-stabilizing MST library.
+
+   Subcommands:
+     construct  build the MST + proof labels for a generated network
+     verify     run the self-stabilizing verifier, optionally inject faults
+     stabilize  run the transformer scenario (construct/verify/repair loop)
+     labels     print the Roots/EndP/Parents/Or-EndP strings of an instance
+     compare    compare construction algorithms on one instance *)
+
+open Cmdliner
+open Ssmst_graph
+open Ssmst_sim
+open Ssmst_core
+
+(* ---------------- shared arguments ---------------- *)
+
+let n_arg =
+  Arg.(value & opt int 32 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let family_arg =
+  Arg.(
+    value
+    & opt (enum [ ("random", `Random); ("path", `Path); ("ring", `Ring); ("grid", `Grid);
+                  ("complete", `Complete); ("star", `Star) ])
+        `Random
+    & info [ "family" ] ~docv:"FAMILY" ~doc:"Graph family: random, path, ring, grid, complete, star.")
+
+let faults_arg =
+  Arg.(value & opt int 1 & info [ "faults" ] ~docv:"F" ~doc:"Number of faults to inject.")
+
+let async_arg =
+  Arg.(value & flag & info [ "async" ] ~doc:"Use the asynchronous daemon and handshake mode.")
+
+let make_graph family n seed =
+  let st = Gen.rng seed in
+  match family with
+  | `Random -> Gen.random_connected st n
+  | `Path -> Gen.path st n
+  | `Ring -> Gen.ring st n
+  | `Grid ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Gen.grid st side side
+  | `Complete -> Gen.complete st n
+  | `Star -> Gen.star st n
+
+(* ---------------- construct ---------------- *)
+
+let construct family n seed =
+  let g = make_graph family n seed in
+  let m = Marker.run g in
+  Fmt.pr "graph: %d nodes, %d edges, max degree %d@." (Graph.n g) (Graph.num_edges g)
+    (Graph.max_degree g);
+  Fmt.pr "MST weight: %d (verified against Kruskal: %b)@." (Tree.total_base_weight m.tree)
+    (Mst.is_mst g (Graph.plain_weight_fn g) m.tree);
+  Fmt.pr "hierarchy: %d fragments, height %d@." (Array.length m.hierarchy.frags)
+    m.hierarchy.height;
+  Fmt.pr "construction: %d charged rounds (%.1f per node)@." m.construction_rounds
+    (float_of_int m.construction_rounds /. float_of_int (Graph.n g));
+  Fmt.pr "labels: max %d bits per node (log2 n = %d)@." m.label_bits (Memory.of_nat n);
+  Fmt.pr "partitions: %d parts (Top+Bottom), threshold %d@."
+    (Array.length m.assignment.Partition.parts) m.assignment.Partition.threshold;
+  0
+
+(* ---------------- verify ---------------- *)
+
+let verify family n seed faults async_ =
+  let g = make_graph family n seed in
+  let m = Marker.run g in
+  let mode = if async_ then Verifier.Handshake else Verifier.Passive in
+  let daemon = if async_ then Scheduler.Async_random (Gen.rng (seed + 1)) else Scheduler.Sync in
+  let module C = struct
+    let marker = m
+    let mode = mode
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let net = Net.create g in
+  Net.run net daemon ~rounds:(8 * Verifier.window_bound m.labels.(0));
+  Fmt.pr "settled after %d rounds; alarms: %b (must be false)@." (Net.rounds net)
+    (Net.any_alarm net);
+  if faults > 0 then begin
+    let fs = Net.inject_faults net (Gen.rng (seed + 2)) ~count:faults in
+    Fmt.pr "injected %d fault(s) at %a@." (List.length fs) Fmt.(list ~sep:comma int) fs;
+    match Net.detection_time net daemon ~max_rounds:200000 with
+    | Some dt ->
+        Fmt.pr "detected after %d rounds; alarming nodes: %a; detection distance: %a@." dt
+          Fmt.(list ~sep:comma int)
+          (Net.alarming_nodes net)
+          Fmt.(option ~none:(any "?") int)
+          (Net.detection_distance net ~faults:fs)
+    | None -> Fmt.pr "no detection (the corruption was semantically null)@."
+  end;
+  0
+
+(* ---------------- stabilize ---------------- *)
+
+let stabilize family n seed faults async_ =
+  let g = make_graph family n seed in
+  let mode = if async_ then Verifier.Handshake else Verifier.Passive in
+  let daemon = if async_ then Scheduler.Async_random (Gen.rng (seed + 1)) else Scheduler.Sync in
+  let t = Transformer.create ~mode ~daemon g in
+  Fmt.pr "stabilized in %d rounds; output weight %d@."
+    (Transformer.stabilization_rounds t)
+    (Tree.total_base_weight (Transformer.tree t));
+  let rng = Gen.rng (seed + 2) in
+  for epoch = 1 to 3 do
+    Transformer.advance t ~rounds:200;
+    let fs = Transformer.inject_faults t rng ~count:faults in
+    Fmt.pr "epoch %d: faults at %a@." epoch Fmt.(list ~sep:comma int) fs;
+    Transformer.advance t ~rounds:20000;
+    Fmt.pr "  output is the MST: %b@."
+      (Mst.is_mst g (Graph.plain_weight_fn g) (Transformer.tree t))
+  done;
+  Fmt.pr "reconstructions: %d, charged rounds: %d, peak memory: %d bits@."
+    t.Transformer.reconstructions t.Transformer.total_rounds (Transformer.memory_bits t);
+  0
+
+(* ---------------- labels ---------------- *)
+
+let labels family n seed =
+  let g = make_graph family n seed in
+  let m = Marker.run g in
+  let labels = Labels.of_hierarchy m.hierarchy in
+  let len = labels.(0).Labels.len in
+  Fmt.pr "%-6s %-*s %-*s %-*s %s@." "node" ((len * 2) + 2) "Roots" ((len * 5) + 2) "EndP"
+    ((len * 2) + 2) "Parents" "Or-EndP";
+  for v = 0 to min (n - 1) (Graph.n g - 1) do
+    let l = labels.(v) in
+    let roots = Fmt.str "%a" Fmt.(array ~sep:(any " ") Labels.pp_rsym) l.Labels.roots in
+    let endp =
+      Fmt.str "%a"
+        Fmt.(array ~sep:(any " ") (fun ppf e -> Fmt.pf ppf "%-4s" (Fmt.str "%a" Labels.pp_esym e)))
+        l.Labels.endp
+    in
+    let parents =
+      Fmt.str "%a"
+        Fmt.(array ~sep:(any " ") (fun ppf b -> Fmt.string ppf (if b then "1" else "0")))
+        l.Labels.parents
+    in
+    let orep =
+      Fmt.str "%a"
+        Fmt.(array ~sep:(any " ") (fun ppf c -> Fmt.string ppf (if c > 0 then "1" else "0")))
+        l.Labels.cnt
+    in
+    Fmt.pr "%-6d %-*s %-*s %-*s %s@." v ((len * 2) + 2) roots ((len * 5) + 2) endp
+      ((len * 2) + 2) parents orep
+  done;
+  0
+
+(* ---------------- compare ---------------- *)
+
+let compare_cmd family n seed =
+  let g = make_graph family n seed in
+  let w = Graph.plain_weight_fn g in
+  let sm = Sync_mst.run g in
+  let ghs = Ssmst_baselines.Ghs.run g in
+  let hl = Ssmst_baselines.Higham_liang.run g in
+  let bl = Ssmst_baselines.Blin.run g in
+  Fmt.pr "%-24s %-10s %-8s@." "algorithm" "rounds" "is MST";
+  Fmt.pr "%-24s %-10d %-8b@." "SYNC_MST (this paper)" sm.Sync_mst.rounds
+    (Mst.is_mst g w sm.Sync_mst.tree);
+  Fmt.pr "%-24s %-10d %-8b@." "GHS" ghs.Ssmst_baselines.Ghs.rounds
+    (Mst.is_mst g w ghs.Ssmst_baselines.Ghs.tree);
+  let mp = Ssmst_mp.Ghs_mp.run g in
+  Fmt.pr "%-24s %-10d %-8b@." "GHS (message passing)" mp.Ssmst_mp.Ghs_mp.rounds
+    (Mst.is_mst g w mp.Ssmst_mp.Ghs_mp.tree);
+  Fmt.pr "%-24s %-10d %-8b@." "Higham-Liang-style" hl.Ssmst_baselines.Higham_liang.rounds
+    (Mst.is_mst g w hl.Ssmst_baselines.Higham_liang.tree);
+  Fmt.pr "%-24s %-10d %-8b@." "Blin-et-al-style" bl.Ssmst_baselines.Blin.rounds
+    (Mst.is_mst g w bl.Ssmst_baselines.Blin.tree);
+  0
+
+(* ---------------- command wiring ---------------- *)
+
+let construct_cmd =
+  Cmd.v
+    (Cmd.info "construct" ~doc:"Build the MST and its proof labels.")
+    Term.(const construct $ family_arg $ n_arg $ seed_arg)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run the self-stabilizing verifier; optionally inject faults.")
+    Term.(const verify $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg)
+
+let stabilize_cmd =
+  Cmd.v
+    (Cmd.info "stabilize" ~doc:"Run the transformer-based self-stabilizing MST scenario.")
+    Term.(const stabilize $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg)
+
+let labels_cmd =
+  Cmd.v
+    (Cmd.info "labels" ~doc:"Print the Section 5 label strings of an instance.")
+    Term.(const labels $ family_arg $ n_arg $ seed_arg)
+
+let compare_cmdliner =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare MST construction algorithms on one instance.")
+    Term.(const compare_cmd $ family_arg $ n_arg $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "msst" ~version:"1.0.0"
+      ~doc:"Fast and compact self-stabilizing verification, computation and fault detection of an MST"
+  in
+  exit (Cmd.eval' (Cmd.group ~default info [ construct_cmd; verify_cmd; stabilize_cmd; labels_cmd; compare_cmdliner ]))

@@ -1,0 +1,1 @@
+examples/construction_race.ml: Fmt Gen Graph List Mst Ssmst_baselines Ssmst_core Ssmst_graph Ssmst_mp Sync_mst

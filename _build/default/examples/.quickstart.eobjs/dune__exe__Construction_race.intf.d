@@ -1,0 +1,1 @@
+examples/construction_race.mli:

@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Fmt Kkp_pls List Lower_bound Ssmst_core Ssmst_pls String

@@ -1,0 +1,1 @@
+examples/network_monitoring.ml: Fmt Gen Graph List Mst Ssmst_core Ssmst_graph Transformer Tree

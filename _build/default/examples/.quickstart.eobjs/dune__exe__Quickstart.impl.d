@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Gen Graph List Marker Memory Mst Network Scheduler Ssmst_core Ssmst_graph Ssmst_sim Tree Verifier

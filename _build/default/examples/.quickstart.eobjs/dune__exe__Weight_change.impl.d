@@ -1,0 +1,1 @@
+examples/weight_change.ml: Array Fmt Gen Graph List Marker Mst Network Scheduler Ssmst_core Ssmst_graph Ssmst_sim Tree Verifier

@@ -1,0 +1,1 @@
+examples/weight_change.mli:

@@ -1,0 +1,49 @@
+(* Network monitoring: the ARPANET scenario from the paper's introduction.
+
+   A long-running network maintains an MST (its routing backbone) with the
+   self-stabilizing construction of Section 10.  Node memory occasionally
+   gets corrupted (the kind of single-node fault that famously crashed the
+   ARPANET by contaminating its neighbours); the verifier detects each
+   fault close to where it happened and the transformer rebuilds, so the
+   corruption never spreads silently.
+
+   Run with: dune exec examples/network_monitoring.exe *)
+
+open Ssmst_graph
+open Ssmst_core
+
+let () =
+  let st = Gen.rng 11 in
+  let g = Gen.random_connected ~extra_factor:1.5 st 40 in
+  Fmt.pr "backbone network: %d nodes, %d links@." (Graph.n g) (Graph.num_edges g);
+  let t = Transformer.create g in
+  Fmt.pr "initial stabilization: %d rounds, output weight %d@."
+    (Transformer.stabilization_rounds t)
+    (Tree.total_base_weight (Transformer.tree t));
+  let fault_rng = Gen.rng 12 in
+  for epoch = 1 to 5 do
+    (* quiet operation *)
+    Transformer.advance t ~rounds:300;
+    (* a memory fault hits some routers *)
+    let faults = Transformer.inject_faults t fault_rng ~count:(1 + (epoch mod 2)) in
+    Fmt.pr "epoch %d: fault at nodes %a@." epoch Fmt.(list ~sep:comma int) faults;
+    Transformer.advance t ~rounds:6000;
+    let recovered = Mst.is_mst g (Graph.plain_weight_fn g) (Transformer.tree t) in
+    Fmt.pr "         output is the MST again: %b@." recovered;
+    assert recovered
+  done;
+  Fmt.pr "history (most recent first):@.";
+  List.iteri
+    (fun i e ->
+      if i < 12 then
+        match e with
+        | Transformer.Constructed r -> Fmt.pr "  construction (%d rounds)@." r
+        | Transformer.Detected { rounds; distance } ->
+            Fmt.pr "  detection after %d rounds at distance %a@." rounds
+              Fmt.(option ~none:(any "?") int)
+              distance
+        | Transformer.Quiescent r -> Fmt.pr "  quiet for %d rounds@." r)
+    t.Transformer.history;
+  Fmt.pr "total: %d reconstructions over %d charged rounds@." t.Transformer.reconstructions
+    t.Transformer.total_rounds;
+  Fmt.pr "peak node memory: %d bits@." (Transformer.memory_bits t)

@@ -1,0 +1,1 @@
+lib/baselines/blin.ml: Array Graph Marker Mst Ssmst_core Ssmst_graph Ssmst_pls Sync_mst Tree

@@ -1,0 +1,1 @@
+lib/baselines/blin.mli: Graph Ssmst_graph Tree

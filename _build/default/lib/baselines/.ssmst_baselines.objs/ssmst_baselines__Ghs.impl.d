@@ -1,0 +1,1 @@
+lib/baselines/ghs.ml: Array Dsu Graph Hashtbl Ssmst_graph Tree Weight

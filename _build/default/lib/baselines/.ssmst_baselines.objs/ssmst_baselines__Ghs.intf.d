@@ -1,0 +1,1 @@
+lib/baselines/ghs.mli: Graph Ssmst_graph Tree

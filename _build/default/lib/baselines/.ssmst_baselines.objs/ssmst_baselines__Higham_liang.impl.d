@@ -1,0 +1,1 @@
+lib/baselines/higham_liang.ml: Array Graph List Queue Ssmst_graph Ssmst_sim Tree Weight

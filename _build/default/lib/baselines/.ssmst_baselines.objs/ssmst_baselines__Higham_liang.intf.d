@@ -1,0 +1,1 @@
+lib/baselines/higham_liang.mli: Graph Ssmst_graph Tree

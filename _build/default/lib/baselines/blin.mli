@@ -1,0 +1,14 @@
+open Ssmst_graph
+
+(** A Blin–Dolev–Potop-Butucaru–Rovedakis-style self-stabilizing MST
+    ([17]): Θ(log² n) bits per node (the [54, 55] label structures,
+    measured on the result), Θ(n²) time (label maintenance sequentialises
+    the n−1 merges at Θ(n) each). *)
+
+type result = {
+  tree : Tree.t;
+  rounds : int;
+  memory_bits : int;  (** measured Θ(log² n) label bits *)
+}
+
+val run : Graph.t -> result

@@ -1,0 +1,66 @@
+open Ssmst_graph
+
+(* The Gallager-Humblet-Spira algorithm (Section 4.1), as a reference MST
+   construction and as the O(n log n)-time comparison point for SYNC_MST.
+
+   Fragments at a common level search for their minimum outgoing edges and
+   merge over them; a fragment joining a higher-level fragment is absorbed.
+   Unlike SYNC_MST there is no global timetable: each level's searches take
+   time proportional to the largest fragment participating, and there are
+   O(log n) levels, giving the classic O(n log n) bound.  The engine charges
+   each level max-fragment wave costs and reports the accumulated rounds. *)
+
+type result = { tree : Tree.t; rounds : int; levels : int }
+
+let run (g : Graph.t) =
+  let n = Graph.n g in
+  let w = Graph.plain_weight_fn g in
+  let parent = Array.make n (-1) in
+  let comp = Dsu.create n in
+  let rounds = ref 0 in
+  let levels = ref 0 in
+  let merged = ref 0 in
+  while !merged < n - 1 do
+    incr levels;
+    (* sizes per fragment for the wave-cost charge *)
+    let size = Array.make n 0 in
+    for v = 0 to n - 1 do
+      let r = Dsu.find comp v in
+      size.(r) <- size.(r) + 1
+    done;
+    let max_size = Array.fold_left max 1 size in
+    (* each fragment's count + search + root transfer: a constant number of
+       waves over the fragment, all fragments in parallel *)
+    rounds := !rounds + (5 * max_size);
+    (* minimum outgoing edge per fragment *)
+    let best = Hashtbl.create 16 in
+    Graph.fold_edges
+      (fun () u v _ ->
+        let ru = Dsu.find comp u and rv = Dsu.find comp v in
+        if ru <> rv then begin
+          let wt = w u v in
+          let update r edge =
+            match Hashtbl.find_opt best r with
+            | Some (_, bw) when Weight.(bw <= wt) -> ()
+            | _ -> Hashtbl.replace best r (edge, wt)
+          in
+          update ru (u, v);
+          update rv (v, u)
+        end)
+      () g;
+    (* merge over the selected edges *)
+    Hashtbl.iter
+      (fun _ ((a, b), _) ->
+        if Dsu.union comp a b then begin
+          (* re-root a's side at a, then hook under b *)
+          let rec flip v prev =
+            let p = parent.(v) in
+            parent.(v) <- prev;
+            if p >= 0 then flip p v
+          in
+          flip a b;
+          incr merged
+        end)
+      best
+  done;
+  { tree = Tree.of_parents g parent; rounds = !rounds; levels = !levels }

@@ -1,0 +1,11 @@
+open Ssmst_graph
+
+(** Gallager–Humblet–Spira as a level-synchronised reference construction
+    (Section 4.1): fragments at a common level search and merge over their
+    minimum outgoing edges; each level is charged waves proportional to the
+    largest participating fragment, O(n log n) in the worst case.  For the
+    fully event-driven message-passing GHS see {!Ssmst_mp.Ghs_mp}. *)
+
+type result = { tree : Tree.t; rounds : int; levels : int }
+
+val run : Graph.t -> result

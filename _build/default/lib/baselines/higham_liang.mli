@@ -1,0 +1,17 @@
+open Ssmst_graph
+
+(** A Higham–Liang-style self-stabilizing MST ([48]; the regime of [18]):
+    O(log n) bits per node, Θ(n·|E|) time.  A token enforces the cycle
+    property edge by edge — each non-tree edge costs a tree-path walk, and
+    a full quiet pass over all edges certifies the tree. *)
+
+type result = {
+  tree : Tree.t;
+  rounds : int;  (** charged ideal time until a full quiet pass *)
+  swaps : int;
+  memory_bits : int;
+}
+
+val run : ?initial:Tree.t -> Graph.t -> result
+(** [initial] is the (possibly adversarial) starting spanning tree; default
+    is a BFS tree.  @raise Graph.Malformed on failure to stabilize. *)

@@ -1,0 +1,1 @@
+lib/core/fragment.ml: Array Fun Graph Int List Mst Option Ssmst_graph Tree Weight

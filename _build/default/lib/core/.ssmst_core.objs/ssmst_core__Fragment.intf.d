@@ -1,0 +1,1 @@
+lib/core/fragment.mli: Graph Mst Ssmst_graph Tree

@@ -1,0 +1,1 @@
+lib/core/labels.ml: Array Fmt Fragment Fun Graph List Option Ssmst_graph Ssmst_sim Tree

@@ -1,0 +1,1 @@
+lib/core/labels.mli: Format Fragment Ssmst_graph Tree

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Gen Graph List Marker Network Scheduler Ssmst_graph Ssmst_sim Tree Verifier

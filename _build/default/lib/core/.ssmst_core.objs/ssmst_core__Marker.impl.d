@@ -1,0 +1,1 @@
+lib/core/marker.ml: Array Fragment Graph Labels List Multi_wave Partition Pieces Ssmst_graph Ssmst_sim Sync_mst Tree

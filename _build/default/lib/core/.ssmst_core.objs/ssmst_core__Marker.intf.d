@@ -1,0 +1,1 @@
+lib/core/marker.mli: Fragment Graph Labels Partition Ssmst_graph Tree

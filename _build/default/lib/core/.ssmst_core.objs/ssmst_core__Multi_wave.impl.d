@@ -1,0 +1,1 @@
+lib/core/multi_wave.ml: Array Fragment Int List Option Ssmst_graph Tree

@@ -1,0 +1,1 @@
+lib/core/multi_wave.mli: Fragment

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Fmt Fragment Fun Graph Hashtbl Int List Option Pieces Queue Ssmst_graph Ssmst_sim Tree

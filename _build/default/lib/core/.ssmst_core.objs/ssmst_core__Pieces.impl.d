@@ -1,0 +1,1 @@
+lib/core/pieces.ml: Fmt Fragment Graph Mst Random Ssmst_graph Ssmst_sim Weight

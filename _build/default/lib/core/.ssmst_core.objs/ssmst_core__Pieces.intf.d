@@ -1,0 +1,1 @@
+lib/core/pieces.mli: Format Fragment Random Ssmst_graph

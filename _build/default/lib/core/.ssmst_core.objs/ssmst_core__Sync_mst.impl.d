@@ -1,0 +1,1 @@
+lib/core/sync_mst.ml: Array Fragment Graph List Ssmst_graph Ssmst_protocols Ssmst_sim Tree Wave_echo Weight

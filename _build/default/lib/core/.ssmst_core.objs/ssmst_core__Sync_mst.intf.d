@@ -1,0 +1,1 @@
+lib/core/sync_mst.mli: Fragment Graph Ssmst_graph Tree

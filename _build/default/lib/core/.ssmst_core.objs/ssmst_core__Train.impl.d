@@ -1,0 +1,1 @@
+lib/core/train.ml: Array List Partition Pieces Random Ssmst_sim

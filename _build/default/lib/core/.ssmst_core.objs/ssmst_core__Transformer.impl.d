@@ -1,0 +1,1 @@
+lib/core/transformer.ml: Graph List Marker Network Random Scheduler Ssmst_graph Ssmst_sim Verifier

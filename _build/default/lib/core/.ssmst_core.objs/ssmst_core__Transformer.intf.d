@@ -1,0 +1,1 @@
+lib/core/transformer.mli: Graph Marker Random Scheduler Ssmst_graph Ssmst_sim Tree Verifier

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Array Fun Graph Labels List Marker Memory Option Partition Pieces Random Ssmst_graph Ssmst_sim Train Weight

@@ -1,0 +1,284 @@
+open Ssmst_graph
+
+(* The Section 5 label strings and their local verification.
+
+   Each node carries four strings of ell+1 entries (ell = hierarchy height):
+
+   - [roots]: '1' / '0' / '*' — whether the node is the root of its level-j
+     fragment, a non-root member, or belongs to no level-j fragment;
+   - [endp]: up / down / none / '*' — whether the node is the endpoint of
+     the candidate edge of its level-j fragment, and if so whether that edge
+     leads to its tree parent or to one of its tree children;
+   - [parents]: bit j set iff the edge from the node's tree parent y down to
+     the node is the candidate of y's level-j fragment (this is where "down"
+     pointers are stored, to keep y's label at O(log n) bits);
+   - [cnt]: the number (capped at 2) of candidate endpoints in the node's
+     subtree *within* its level-j fragment — the counting companion of
+     Example NumK used to verify condition EPS1 ("Or-EndP" in Table 2 is
+     its OR projection).
+
+   Legality is conditions RS0-RS5 and EPS0-EPS5, each checkable by a node
+   reading only its own label and its tree neighbours' labels (a 1-proof
+   labeling scheme, Lemma 5.2). *)
+
+type rsym = R1 | R0 | RStar
+type esym = Up | Down | ENone | EStar
+
+type t = {
+  len : int;  (* ell + 1 entries, levels 0..ell *)
+  roots : rsym array;
+  endp : esym array;
+  parents : bool array;
+  cnt : int array;  (* 0, 1 or 2 ("2" = two or more) *)
+}
+
+let bits (l : t) =
+  (* 2 bits per roots/endp entry, 1 per parents bit, 2 per cnt entry *)
+  Ssmst_sim.Memory.of_nat l.len + (l.len * 7)
+
+let pp_rsym ppf = function
+  | R1 -> Fmt.string ppf "1"
+  | R0 -> Fmt.string ppf "0"
+  | RStar -> Fmt.string ppf "*"
+
+let pp_esym ppf = function
+  | Up -> Fmt.string ppf "up"
+  | Down -> Fmt.string ppf "down"
+  | ENone -> Fmt.string ppf "none"
+  | EStar -> Fmt.string ppf "*"
+
+(* ------------------------------------------------------------------ *)
+(* Marker (Lemma 5.4): derive the strings from the hierarchy.  The
+   distributed implementation piggybacks on SYNC_MST (the actions only write
+   fresh O(log n)-bit variables); its cost is accounted in Marker. *)
+
+let of_hierarchy (h : Fragment.hierarchy) =
+  let tree = h.tree in
+  let n = Tree.n tree in
+  let len = h.height + 1 in
+  let labels =
+    Array.init n (fun _ ->
+        {
+          len;
+          roots = Array.make len RStar;
+          endp = Array.make len EStar;
+          parents = Array.make len false;
+          cnt = Array.make len 0;
+        })
+  in
+  Array.iter
+    (fun (f : Fragment.t) ->
+      let j = f.level in
+      Array.iter
+        (fun v ->
+          labels.(v).roots.(j) <- (if f.root = v then R1 else R0);
+          labels.(v).endp.(j) <- ENone)
+        f.members;
+      match f.candidate with
+      | None -> ()
+      | Some (w, x) ->
+          (if Tree.parent tree w = Some x then labels.(w).endp.(j) <- Up
+           else begin
+             labels.(w).endp.(j) <- Down;
+             labels.(x).parents.(j) <- true
+           end))
+    h.frags;
+  (* cnt: bottom-up within each fragment *)
+  Array.iter
+    (fun (f : Fragment.t) ->
+      let j = f.level in
+      let rec count v =
+        let own = match labels.(v).endp.(j) with Up | Down -> 1 | ENone | EStar -> 0 in
+        let from_children =
+          List.fold_left
+            (fun acc c -> if labels.(c).roots.(j) = R0 then acc + count c else acc)
+            0 (Tree.children tree v)
+        in
+        let total = min 2 (own + from_children) in
+        labels.(v).cnt.(j) <- total;
+        total
+      in
+      ignore (count f.root))
+    h.frags;
+  labels
+
+(* ------------------------------------------------------------------ *)
+(* Verifier: conditions RS0-RS5 and EPS0-EPS5.
+
+   The checks run at a node [v] given read access to its *claimed* tree
+   parent's and children's labels (the claims themselves are certified by
+   the Example SP scheme, see Verifier).  Each violated condition is
+   reported by name. *)
+
+type view = {
+  label : int -> t;  (* label of a node *)
+  parent : int -> int option;  (* claimed tree parent *)
+  children : int -> int list;  (* claimed tree children *)
+  is_root : int -> bool;  (* claimed to be the root of T *)
+  ident : int -> int;  (* node identity *)
+}
+
+let check_node (vw : view) v =
+  let l = vw.label v in
+  let bad = ref [] in
+  let fail name = bad := name :: !bad in
+  let ell = l.len - 1 in
+  (* RS1: all strings across the tree have the same length; locally: same
+     as the parent's length (the root anchors it against a certified n) *)
+  (match vw.parent v with
+  | Some p -> if (vw.label p).len <> l.len then fail "RS1"
+  | None -> ());
+  (* RS0: roots is a prefix over {1,*} followed by a suffix over {0,*} *)
+  let seen_zero = ref false in
+  Array.iter
+    (fun s ->
+      match s with
+      | R0 -> seen_zero := true
+      | R1 -> if !seen_zero then fail "RS0"
+      | RStar -> ())
+    l.roots;
+  (* RS2: the root of T has no '0' and its ell'th entry is '1' *)
+  if vw.is_root v then begin
+    if Array.exists (fun s -> s = R0) l.roots then fail "RS2";
+    if l.roots.(ell) <> R1 then fail "RS2"
+  end;
+  (* RS3: entry 0 is '1' *)
+  if l.roots.(0) <> R1 then fail "RS3";
+  (* RS4: the ell'th entry of every non-root is '0' *)
+  if (not (vw.is_root v)) && l.roots.(ell) <> R0 then fail "RS4";
+  (* RS5: a '0' at level j forces the parent's entry j to not be '*' *)
+  (match vw.parent v with
+  | Some p ->
+      let lp = vw.label p in
+      if lp.len = l.len then
+        Array.iteri (fun j s -> if s = R0 && lp.roots.(j) = RStar then fail "RS5") l.roots
+  | None -> ());
+  (* membership helpers from the claimed strings *)
+  let in_frag j = l.roots.(j) <> RStar in
+  (* EPS0: parents bit j set implies the parent's endp at j is "down" *)
+  (match vw.parent v with
+  | Some p ->
+      let lp = vw.label p in
+      if lp.len = l.len then
+        Array.iteri (fun j b -> if b && lp.endp.(j) <> Down then fail "EPS0") l.parents
+  | None -> if Array.exists Fun.id l.parents then fail "EPS0");
+  (* EPS2: endp "down" at j implies exactly one child has parents bit j *)
+  Array.iteri
+    (fun j e ->
+      if e = Down then begin
+        let marked =
+          List.filter
+            (fun c ->
+              let lc = vw.label c in
+              lc.len = l.len && lc.parents.(j))
+            (vw.children v)
+        in
+        if List.length marked <> 1 then fail "EPS2"
+      end)
+    l.endp;
+  (* consistency of endp/roots stars *)
+  Array.iteri
+    (fun j e ->
+      let star_e = e = EStar and star_r = not (in_frag j) in
+      if star_e <> star_r then fail "EPS-star")
+    l.endp;
+  (* EPS3: endp "up" at j: roots_j = '1' and no '1' above j *)
+  Array.iteri
+    (fun j e ->
+      if e = Up then begin
+        if l.roots.(j) <> R1 then fail "EPS3";
+        for i = j + 1 to ell do
+          if l.roots.(i) = R1 then fail "EPS3"
+        done;
+        (* an "up" endpoint must actually have a tree parent *)
+        if vw.parent v = None then fail "EPS3"
+      end)
+    l.endp;
+  (* EPS4: parents bit j: roots_j <> '0' and no '1' above j *)
+  Array.iteri
+    (fun j b ->
+      if b then begin
+        if l.roots.(j) = R0 then fail "EPS4";
+        for i = j + 1 to ell do
+          if l.roots.(i) = R1 then fail "EPS4"
+        done
+      end)
+    l.parents;
+  (* EPS5: every non-root has some "up" endp or some parents bit *)
+  if not (vw.is_root v) then begin
+    let has =
+      Array.exists (fun e -> e = Up) l.endp || Array.exists Fun.id l.parents
+    in
+    if not has then fail "EPS5"
+  end;
+  (* EPS1 via counting: cnt consistency at v, and cnt = 1 at every fragment
+     root below the top level (cnt = 0 for T's root at level ell) *)
+  Array.iteri
+    (fun j _ ->
+      if in_frag j then begin
+        let own = match l.endp.(j) with Up | Down -> 1 | ENone | EStar -> 0 in
+        let from_children =
+          List.fold_left
+            (fun acc c ->
+              let lc = vw.label c in
+              if lc.len = l.len && lc.roots.(j) = R0 then acc + lc.cnt.(j) else acc)
+            0 (vw.children v)
+        in
+        if l.cnt.(j) <> min 2 (own + from_children) then fail "EPS1-sum";
+        if l.roots.(j) = R1 then begin
+          let expected = if j = ell then 0 else 1 in
+          if l.cnt.(j) <> expected then fail "EPS1-root"
+        end
+      end
+      else if l.cnt.(j) <> 0 then fail "EPS1-star")
+    l.cnt;
+  List.rev !bad
+
+(* Convenience: run the checks at every node; returns per-node violation
+   lists (non-empty lists mean alarms). *)
+let check_all (vw : view) n = List.init n (check_node vw)
+
+let view_of_tree (tree : Tree.t) labels =
+  {
+    label = (fun v -> labels.(v));
+    parent = (fun v -> Tree.parent tree v);
+    children = (fun v -> Tree.children tree v);
+    is_root = (fun v -> v = Tree.root tree);
+    ident = (fun v -> Graph.id (Tree.graph tree) v);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries used by the rest of the scheme (Lemma 5.2's "knows" items). *)
+
+let belongs l j = j < l.len && l.roots.(j) <> RStar
+let is_frag_root l j = j < l.len && l.roots.(j) = R1
+
+(* Whether v is an endpoint of its level-j candidate, and through which
+   tree edge; [`Down c] names the child found via the children's parents
+   bits. *)
+let candidate_edge (vw : view) v j =
+  let l = vw.label v in
+  if j >= l.len then None
+  else
+    match l.endp.(j) with
+    | Up -> Option.map (fun p -> `Up p) (vw.parent v)
+    | Down ->
+        List.find_opt
+          (fun c ->
+            let lc = vw.label c in
+            lc.len = l.len && lc.parents.(j))
+          (vw.children v)
+        |> Option.map (fun c -> `Down c)
+    | ENone | EStar -> None
+
+(* Whether tree-neighbour u shares v's level-j fragment, decidable from the
+   two labels alone (Section 5.2): going down, the child is a member iff its
+   roots entry is '0'; going up, v is a member of the parent's fragment iff
+   v's own entry is '0'. *)
+let same_fragment_as_child (vw : view) ~child j =
+  let lc = vw.label child in
+  j < lc.len && lc.roots.(j) = R0
+
+let same_fragment_as_parent (vw : view) ~node j =
+  let l = vw.label node in
+  j < l.len && l.roots.(j) = R0

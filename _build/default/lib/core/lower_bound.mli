@@ -1,0 +1,30 @@
+open Ssmst_graph
+
+(** The Section 9 apparatus: Ω(log n) verification time for O(log n)-bit
+    schemes.  Lemma 9.1 reduces a τ-round, ℓ-bit scheme on the τ-subdivided
+    family to a 1-round O(τ·ℓ)-bit scheme on the base family, which [54]
+    bounds below by Ω(log² n) bits — so τ·ℓ = Ω(log² n). *)
+
+type datapoint = {
+  h : int;  (** hypertree height parameter *)
+  tau : int;  (** subdivision parameter *)
+  n : int;  (** nodes of the (subdivided) instance *)
+  label_bits : int;
+  detection_rounds : int option;  (** [None] on positive instances *)
+}
+
+val break_instance : Graph.t -> Tree.t -> Graph.t * Tree.t
+(** Make one cross edge lighter than every tree edge on its cycle: a
+    negative (non-MST) instance with the same topology. *)
+
+val detection_time_of : Marker.t -> int option
+(** Synchronous detection time of the compact verifier on the instance. *)
+
+val measure : seed:int -> h:int -> tau:int -> positive:bool -> datapoint
+(** Build a (possibly broken, possibly τ-subdivided) hypertree instance,
+    label it (honestly or adversarially via {!Marker.forge}), and measure
+    the compact scheme on it. *)
+
+val instance : seed:int -> h:int -> tau:int -> positive:bool -> Graph.t * Tree.t * Marker.t
+(** The instance-building pipeline, shared with the KKP measurement in
+    {!Ssmst_pls.Kkp_pls.measure_lower_bound}. *)

@@ -1,0 +1,60 @@
+open Ssmst_graph
+
+(* The Multi_Wave primitive (Section 6.3.1): execute a Wave&Echo carrying a
+   command in every fragment of the hierarchy, level by level, with the
+   level-(j+1) wave in a fragment starting only after all level-j waves in
+   its descendant fragments have terminated (Observation 6.6) — yet
+   pipelined so that the whole cascade completes in O(n) ideal time
+   (Observation 6.8), not the naive O(n log n).
+
+   The command receives the fragment and the echoes already computed for
+   its hierarchy children (the fragments it was merged from), so multi-wave
+   passes can aggregate hierarchy-wide information — exactly how the marker
+   identifies red/blue/large fragments and distributes pieces
+   (Sections 6.3.2-6.3.8). *)
+
+type 'a t = {
+  results : 'a array;  (* per fragment index *)
+  rounds : int;  (* ideal time of the pipelined cascade *)
+}
+
+(* depth of a fragment's subtree within T: the wave cost unit *)
+let fragment_depth (h : Fragment.hierarchy) (f : Fragment.t) =
+  let base = Tree.depth h.tree f.root in
+  Array.fold_left (fun acc v -> max acc (Tree.depth h.tree v - base)) 0 f.members
+
+let run (h : Fragment.hierarchy) ~(command : Fragment.t -> 'a list -> 'a) =
+  let count = Array.length h.frags in
+  let results : 'a option array = Array.make count None in
+  (* levels present, ascending *)
+  let levels =
+    Array.to_list h.frags |> List.map (fun (f : Fragment.t) -> f.level)
+    |> List.sort_uniq Int.compare
+  in
+  let rounds = ref (2 * (Tree.height h.tree + 1)) in
+  List.iter
+    (fun j ->
+      let cost = ref 0 in
+      Array.iter
+        (fun (f : Fragment.t) ->
+          if f.level = j then begin
+            let child_echoes =
+              List.map
+                (fun ci ->
+                  match results.(ci) with
+                  | Some r -> r
+                  | None -> invalid_arg "Multi_wave: child wave did not terminate first")
+                f.children
+            in
+            results.(f.index) <- Some (command f child_echoes);
+            (* wave + echo + informing wave over the fragment *)
+            cost := max !cost ((3 * fragment_depth h f) + 3)
+          end)
+        h.frags;
+      rounds := !rounds + !cost)
+    levels;
+  { results = Array.map Option.get results; rounds = !rounds }
+
+(* Observation 6.8: on hierarchies built by SYNC_MST (level-j fragments have
+   ≥ 2^j members), the cascade is linear in n. *)
+let linear_bound (h : Fragment.hierarchy) (t : 'a t) = t.rounds <= 8 * Tree.n h.tree + 16

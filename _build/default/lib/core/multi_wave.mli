@@ -1,0 +1,19 @@
+(** The Multi_Wave primitive (Section 6.3.1): a Wave&Echo carrying a command
+    in every fragment of the hierarchy, level by level — a fragment's wave
+    starts only after all waves in its descendant fragments terminated
+    (Observation 6.6) — pipelined to O(n) total ideal time on SYNC_MST
+    hierarchies (Observation 6.8). *)
+
+type 'a t = {
+  results : 'a array;  (** per fragment index *)
+  rounds : int;  (** ideal time of the pipelined cascade *)
+}
+
+val fragment_depth : Fragment.hierarchy -> Fragment.t -> int
+
+val run : Fragment.hierarchy -> command:(Fragment.t -> 'a list -> 'a) -> 'a t
+(** [command f child_echoes] runs at fragment [f] with the echoes of its
+    hierarchy children already computed. *)
+
+val linear_bound : Fragment.hierarchy -> 'a t -> bool
+(** Observation 6.8 as a check: rounds ≤ c·n. *)

@@ -1,0 +1,341 @@
+open Ssmst_graph
+
+(* The two partitions Top and Bottom of Section 6.1, plus the distribution
+   of pieces over parts (Section 6.2) and the per-node part labels the
+   verifier relies on.
+
+   - Fragments with at least [threshold] = Θ(log n) nodes are *top*; they
+     induce the subtree T_Top of the hierarchy-tree.  Leaves of T_Top are
+     *red*, internal ones *large*; non-top children of large fragments are
+     *blue*.  Red and blue fragments partition the nodes (Observation 6.1).
+   - Procedure Merge grows each red fragment into a part P'' by repeatedly
+     annexing blue fragments that touch it inside their common large
+     ancestor; each P'' part meets at most one top fragment per level
+     (Claim 6.3).  P'' parts are then split into Top parts of size >=
+     threshold and diameter O(log n) (Lemma 6.4).
+   - Bottom parts are the blue fragments together with the children of red
+     fragments; each has < threshold nodes and meets at most 2|P| bottom
+     fragments (Lemma 6.5).
+   - The pieces a part is responsible for are placed along the part's DFS
+     order, at most one pair per node (Section 6.2). *)
+
+type part = {
+  id : int;  (* index in the parts array *)
+  kind : [ `Top | `Bottom ];
+  root : int;  (* highest node of the part *)
+  members : int list;
+  pieces : Pieces.t array;  (* global cyclic order of the part's train *)
+  diameter : int;  (* actual diameter of the part (tree hops) *)
+}
+
+type node_part_label = {
+  part_root_id : int;  (* the Top-Root / Bottom-Root variable *)
+  dfs_rank : int;  (* DFS rank within the part *)
+  subtree : int;  (* size of the node's subtree within the part *)
+  k : int;  (* number of pieces the part's train carries *)
+  depth_in_part : int;
+  dbound : int;  (* claimed diameter bound, verified EDIAM-style *)
+  own : Pieces.t array;  (* the <= 2 pieces stored permanently here *)
+}
+
+type assignment = {
+  threshold : int;
+  parts : part array;
+  top_of : int array;  (* per node: index of its Top part *)
+  bot_of : int array;  (* per node: index of its Bottom part *)
+  top_label : node_part_label array;
+  bot_label : node_part_label array;
+  delim : int array;  (* per node: lowest top level (levels >= delim are top) *)
+}
+
+let threshold_for n = max 2 (Ssmst_sim.Memory.of_nat n)
+
+(* ------------------------------------------------------------------ *)
+
+let compute ?threshold (h : Fragment.hierarchy) =
+  let tree = h.tree in
+  let g = Tree.graph tree in
+  let n = Graph.n g in
+  let t = match threshold with Some t -> max 2 t | None -> threshold_for n in
+  let weight_fn =
+    Graph.weight_fn g ~in_tree:(fun u v -> Tree.is_tree_edge tree u v)
+  in
+  let is_top (f : Fragment.t) = Fragment.size f >= t in
+  (* red = leaf of T_Top: top with no top child; large = top with a top child *)
+  let has_top_child (f : Fragment.t) =
+    List.exists (fun c -> is_top h.frags.(c)) f.children
+  in
+  let is_red f = is_top f && not (has_top_child f) in
+  let is_large f = is_top f && has_top_child f in
+  let is_blue (f : Fragment.t) =
+    (not (is_top f)) && f.parent >= 0 && is_large h.frags.(f.parent)
+  in
+  let is_green (f : Fragment.t) = f.parent >= 0 && is_red h.frags.(f.parent) in
+  (* ---- partition P'' over red/blue fragments (Procedure Merge) ---- *)
+  (* seed: per red fragment, a P'' group; each node's group via its red or
+     blue fragment *)
+  let group_of_node = Array.make n (-1) in
+  let reds = Array.to_list h.frags |> List.filter is_red in
+  let blues = Array.to_list h.frags |> List.filter is_blue in
+  let red_of_group = Array.of_list (List.map (fun (f : Fragment.t) -> f.index) reds) in
+  List.iteri
+    (fun gi (f : Fragment.t) -> Array.iter (fun v -> group_of_node.(v) <- gi) f.members)
+    reds;
+  (* every node must be red or blue (Observation 6.1) *)
+  let blue_of_node = Array.make n (-1) in
+  List.iter
+    (fun (f : Fragment.t) -> Array.iter (fun v -> blue_of_node.(v) <- f.index) f.members)
+    blues;
+  Array.iteri
+    (fun v gi ->
+      if gi < 0 && blue_of_node.(v) < 0 then
+        raise (Graph.Malformed "partition: node neither red nor blue"))
+    group_of_node;
+  (* is fragment [anc] an ancestor (or equal) of fragment [d] in H? *)
+  let rec is_ancestor anc d =
+    if d = anc then true else if h.frags.(d).parent < 0 then false else is_ancestor anc h.frags.(d).parent
+  in
+  let unassigned = ref (List.filter (fun (f : Fragment.t) -> group_of_node.(f.members.(0)) < 0) blues) in
+  let progress = ref true in
+  while !unassigned <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (b : Fragment.t) ->
+        let large = b.parent in
+        (* candidate group: touches b by a tree edge, and its red seed is a
+           descendant of b's large parent *)
+        let found = ref (-1) in
+        Array.iter
+          (fun v ->
+            if !found < 0 then
+              List.iter
+                (fun u ->
+                  if !found < 0 && group_of_node.(u) >= 0 then
+                    let gi = group_of_node.(u) in
+                    if is_ancestor large red_of_group.(gi) then found := gi)
+                (Tree.children tree v @ Option.to_list (Tree.parent tree v)))
+          b.members;
+        if !found >= 0 then begin
+          Array.iter (fun v -> group_of_node.(v) <- !found) b.members;
+          progress := true
+        end
+        else still := b :: !still)
+      !unassigned;
+    unassigned := !still
+  done;
+  if !unassigned <> [] then raise (Graph.Malformed "partition: Merge did not cover all blues");
+  (* ---- split each P'' group into Top parts ---- *)
+  (* A Top part is a subtree; split by accumulating subtree sizes in
+     post-order and cutting pieces of size >= t. *)
+  let top_of = Array.make n (-1) in
+  let top_parts_members : int list list ref = ref [] in
+  let top_part_group : int list ref = ref [] in
+  let num_groups = Array.length red_of_group in
+  for gi = 0 to num_groups - 1 do
+    let in_group v = group_of_node.(v) = gi in
+    (* the group's subtree root: the member whose tree parent is outside *)
+    let roots =
+      List.init n Fun.id
+      |> List.filter (fun v ->
+             in_group v
+             && match Tree.parent tree v with Some p -> not (in_group p) | None -> true)
+    in
+    let groot = match roots with [ r ] -> r | _ -> raise (Graph.Malformed "partition: group not a subtree") in
+    (* post-order split *)
+    let fresh_parts = ref [] in
+    let rec split v =
+      (* returns the list of residual (uncut) nodes of v's subtree, v last *)
+      let residual =
+        List.concat_map (fun c -> if in_group c then split c else []) (Tree.children tree v)
+        @ [ v ]
+      in
+      if List.length residual >= t && v <> groot then begin
+        fresh_parts := residual :: !fresh_parts;
+        []
+      end
+      else residual
+    in
+    let leftover = split groot in
+    (match (leftover, !fresh_parts) with
+    | [], _ -> ()
+    | l, [] -> fresh_parts := [ l ]
+    | l, p :: rest when List.length l < t ->
+        (* merge the small root piece into an adjacent cut piece *)
+        fresh_parts := (l @ p) :: rest
+    | l, ps -> fresh_parts := l :: ps);
+    List.iter
+      (fun members ->
+        top_parts_members := members :: !top_parts_members;
+        top_part_group := gi :: !top_part_group)
+      !fresh_parts
+  done;
+  let top_parts_members = Array.of_list (List.rev !top_parts_members) in
+  let top_part_group = Array.of_list (List.rev !top_part_group) in
+  Array.iteri
+    (fun pi members -> List.iter (fun v -> top_of.(v) <- pi) members)
+    top_parts_members;
+  (* ---- Bottom parts: blue fragments + children of red fragments ---- *)
+  let bot_frags = blues @ (Array.to_list h.frags |> List.filter is_green) in
+  let bot_of = Array.make n (-1) in
+  List.iteri
+    (fun pi (f : Fragment.t) -> Array.iter (fun v -> bot_of.(v) <- pi) f.members)
+    bot_frags;
+  Array.iteri
+    (fun v pi -> if pi < 0 then raise (Graph.Malformed (Fmt.str "partition: node %d in no Bottom part" v)))
+    bot_of;
+  (* ---- pieces ---- *)
+  let piece_of f = Pieces.of_fragment g ~weight_fn f in
+  (* Top part pieces: the red seed of the part's group and all its ancestors
+     (all top), by increasing level *)
+  let top_pieces gi =
+    let rec anc acc i = if i < 0 then acc else anc (h.frags.(i) :: acc) h.frags.(i).parent in
+    anc [] red_of_group.(gi)
+    |> List.sort (fun (a : Fragment.t) b -> Int.compare a.level b.level)
+    |> List.filter_map piece_of
+    |> Array.of_list
+  in
+  (* Bottom part pieces: all fragments contained in the part's fragment *)
+  let bot_pieces (f : Fragment.t) =
+    let rec collect acc i =
+      let fr = h.frags.(i) in
+      let acc = List.fold_left collect acc fr.children in
+      fr :: acc
+    in
+    collect [] f.index
+    |> List.sort (fun (a : Fragment.t) b ->
+           let c = Int.compare a.level b.level in
+           if c <> 0 then c else Int.compare a.root b.root)
+    |> List.filter_map piece_of
+    |> Array.of_list
+  in
+  (* ---- assemble parts and per-node labels ---- *)
+  let parts = ref [] in
+  let next_part = ref 0 in
+  let top_label = Array.make n None and bot_label = Array.make n None in
+  let build_part kind members pieces label_slot index_slot =
+    let member_set = Array.make n false in
+    List.iter (fun v -> member_set.(v) <- true) members;
+    let proot =
+      List.filter
+        (fun v -> match Tree.parent tree v with Some p -> not member_set.(p) | None -> true)
+        members
+      |> function
+      | [ r ] -> r
+      | _ -> raise (Graph.Malformed "partition: part not a subtree")
+    in
+    (* diameter along the part's tree edges (the train's routes) *)
+    let diameter =
+      let tree_bfs src =
+        let d = Hashtbl.create 16 in
+        let q = Queue.create () in
+        Hashtbl.add d src 0;
+        Queue.add src q;
+        let worst = ref 0 in
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          let du = Hashtbl.find d u in
+          if du > !worst then worst := du;
+          let step w =
+            if member_set.(w) && not (Hashtbl.mem d w) then begin
+              Hashtbl.add d w (du + 1);
+              Queue.add w q
+            end
+          in
+          List.iter step (Tree.children tree u);
+          Option.iter step (Tree.parent tree u)
+        done;
+        !worst
+      in
+      List.fold_left (fun acc v -> max acc (tree_bfs v)) 0 members
+    in
+    let id = !next_part in
+    incr next_part;
+    (* DFS ranks + subtree sizes within the part *)
+    let rank = Hashtbl.create 16 and size = Hashtbl.create 16 in
+    let counter = ref 0 in
+    let rec dfs v =
+      Hashtbl.add rank v !counter;
+      incr counter;
+      let s =
+        List.fold_left
+          (fun acc c -> if member_set.(c) then acc + dfs c else acc)
+          1 (Tree.children tree v)
+      in
+      Hashtbl.add size v s;
+      s
+    in
+    ignore (dfs proot);
+    let k = Array.length pieces in
+    let dbound = diameter in
+    List.iter
+      (fun v ->
+        let d = Hashtbl.find rank v in
+        let own =
+          if 2 * d < k then Array.sub pieces (2 * d) (min 2 (k - (2 * d))) else [||]
+        in
+        label_slot.(v) <-
+          Some
+            {
+              part_root_id = Graph.id g proot;
+              dfs_rank = d;
+              subtree = Hashtbl.find size v;
+              k;
+              depth_in_part = Tree.depth tree v - Tree.depth tree proot;
+              dbound;
+              own;
+            };
+        index_slot.(v) <- id)
+      members;
+    parts := { id; kind; root = proot; members; pieces; diameter } :: !parts
+  in
+  Array.iteri
+    (fun pi members -> build_part `Top members (top_pieces top_part_group.(pi)) top_label top_of)
+    top_parts_members;
+  List.iter
+    (fun (f : Fragment.t) ->
+      build_part `Bottom (Array.to_list f.members) (bot_pieces f) bot_label bot_of)
+    bot_frags;
+  let parts = Array.of_list (List.rev !parts) in
+  (* delimiter: lowest top level per node *)
+  let delim =
+    Array.init n (fun v ->
+        let tops =
+          List.filter (fun i -> is_top h.frags.(i)) h.of_node.(v)
+          |> List.map (fun i -> h.frags.(i).level)
+        in
+        match tops with [] -> h.height + 1 | l :: _ -> l)
+  in
+  {
+    threshold = t;
+    parts;
+    top_of;
+    bot_of;
+    top_label = Array.map Option.get top_label;
+    bot_label = Array.map Option.get bot_label;
+    delim;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Structural facts the lemmas assert, used by the test-suite. *)
+
+let lemma_6_4 (a : assignment) ~n =
+  Array.for_all
+    (fun p ->
+      match p.kind with
+      | `Bottom -> true
+      | `Top ->
+          List.length p.members >= a.threshold
+          && p.diameter <= 4 * a.threshold + 4
+          && Array.length p.pieces <= Ssmst_sim.Memory.of_nat n + 2)
+    a.parts
+
+let lemma_6_5 (a : assignment) =
+  Array.for_all
+    (fun p ->
+      match p.kind with
+      | `Top -> true
+      | `Bottom ->
+          List.length p.members < a.threshold
+          && Array.length p.pieces <= 2 * List.length p.members)
+    a.parts

@@ -1,0 +1,53 @@
+(** The Top and Bottom partitions of Section 6.1 and the distribution of
+    pieces over their parts (Section 6.2).
+
+    Fragments of at least [threshold] = Θ(log n) nodes are {e top}; leaves
+    of the induced hierarchy subtree are {e red}, internal ones {e large},
+    non-top children of large fragments {e blue}.  Procedure Merge grows
+    each red fragment into a P″ group (Claim 6.3: at most one top fragment
+    per level), split into Top parts of size ≥ threshold and diameter
+    O(log n) (Lemma 6.4).  Bottom parts are the blue fragments and the
+    children of red fragments (Lemma 6.5).  Each part's pieces are laid out
+    along its DFS order, at most one pair per node. *)
+
+type part = {
+  id : int;
+  kind : [ `Top | `Bottom ];
+  root : int;  (** highest node of the part *)
+  members : int list;
+  pieces : Pieces.t array;  (** the part's train cargo, in cyclic order *)
+  diameter : int;  (** along tree edges *)
+}
+
+(** The per-node part label the verifier checks: part root identity, DFS
+    rank and subtree size within the part (NumK-style verifiable), the
+    train length [k], EDIAM-style depth/diameter bounds, and the at most
+    two pieces stored here. *)
+type node_part_label = {
+  part_root_id : int;
+  dfs_rank : int;
+  subtree : int;
+  k : int;
+  depth_in_part : int;
+  dbound : int;
+  own : Pieces.t array;
+}
+
+type assignment = {
+  threshold : int;
+  parts : part array;
+  top_of : int array;  (** per node: its Top part index *)
+  bot_of : int array;
+  top_label : node_part_label array;
+  bot_label : node_part_label array;
+  delim : int array;  (** per node: lowest top level (levels ≥ delim are top) *)
+}
+
+val threshold_for : int -> int
+
+val compute : ?threshold:int -> Fragment.hierarchy -> assignment
+val lemma_6_4 : assignment -> n:int -> bool
+(** Top parts: size ≥ threshold, diameter O(log n), ≤ one piece per level. *)
+
+val lemma_6_5 : assignment -> bool
+(** Bottom parts: size < threshold, at most 2|P| pieces. *)

@@ -1,0 +1,36 @@
+open Ssmst_graph
+
+(* The pieces of information I(F) = ID(F) ∘ ω(F) (Section 6): the fragment
+   identity (root identity + level) together with the weight of its minimum
+   outgoing edge, under the distinct weight function ω′.  O(log n) bits. *)
+
+type t = {
+  root_id : int;  (* identity of the fragment root *)
+  level : int;
+  weight : Weight.t;  (* ω(F): weight of the minimum outgoing edge *)
+}
+
+let equal a b = a.root_id = b.root_id && a.level = b.level && Weight.equal a.weight b.weight
+
+let bits p =
+  Ssmst_sim.Memory.of_int p.root_id + Ssmst_sim.Memory.of_nat p.level + Weight.bits p.weight
+
+let pp ppf p = Fmt.pf ppf "I(%d@%d;%a)" p.root_id p.level Weight.pp p.weight
+
+(* The piece of a fragment, as the marker computes it.  The weight recorded
+   is that of the fragment's candidate edge; on correct instances this *is*
+   the minimum outgoing edge (the verifier re-checks both C1 and C2). *)
+let of_fragment (g : Graph.t) ~(weight_fn : Mst.weight_fn) (f : Fragment.t) =
+  match f.candidate with
+  | None -> None
+  | Some (w, x) ->
+      Some { root_id = Graph.id g f.root; level = f.level; weight = weight_fn w x }
+
+(* An arbitrary piece for fault injection. *)
+let random st =
+  {
+    root_id = Random.State.int st 1024;
+    level = Random.State.int st 12;
+    weight = Weight.make ~base:(Random.State.int st 1024) ~in_tree:(Random.State.bool st)
+        ~id_u:(Random.State.int st 64) ~id_v:(Random.State.int st 64);
+  }

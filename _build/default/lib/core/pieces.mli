@@ -1,0 +1,25 @@
+(** The pieces of information I(F) = ID(F) ∘ ω(F) (Section 6): a fragment's
+    identity (root identity and level) with the weight of its minimum
+    outgoing edge.  O(log n) bits each. *)
+
+type t = {
+  root_id : int;  (** identity of the fragment root *)
+  level : int;
+  weight : Ssmst_graph.Weight.t;  (** ω(F), under ω′ *)
+}
+
+val equal : t -> t -> bool
+
+val bits : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val of_fragment :
+  Ssmst_graph.Graph.t -> weight_fn:Ssmst_graph.Mst.weight_fn -> Fragment.t -> t option
+(** The piece of a fragment ([None] for the whole tree, which has no
+    candidate).  The recorded weight is the candidate's; on correct
+    instances this is the minimum outgoing edge, which the verifier
+    re-checks via C1/C2. *)
+
+val random : Random.State.t -> t
+(** An arbitrary piece, for fault injection. *)

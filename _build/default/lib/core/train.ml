@@ -1,0 +1,222 @@
+(* The train (Section 7.1): per part, a pipelined convergecast brings the
+   pieces stored along the part's DFS order to the part root, and a gated
+   pipelined broadcast shows every piece to every member, cyclically.
+
+   Registers per node (per train), all O(log n) bits:
+
+   - [up]: the convergecast car, carrying (global piece index, piece);
+   - [want_idx]: the index this node currently seeks from its children (the
+     "wake-up" signal of the Train Convergecast Protocol);
+   - [bc]: the broadcast buffer (index, piece, membership flag);
+   - [cursor] (part root only): the next index to broadcast;
+   - [seen]/[complete]/[last_lvl]: the Section 8 cycle-set bookkeeping;
+   - [alarm]: raised when a completed cycle misses a required level, or when
+     a Top train delivers levels out of order.
+
+   Within one cycle a node's index range [lo, hi) is visited in plain
+   increasing order (the cyclic order wraps only at the root), so all
+   comparisons are linear.  The broadcast is gated: a node replaces its [bc]
+   only after every part-child has copied it, so no member ever skips a
+   piece; the convergecast prefetches one index ahead of the parent's
+   progress, so the root consumes one piece per O(1) rounds after an O(D)
+   warm-up — a cycle takes O(k + D) = O(log n) ideal time (Theorem 7.1). *)
+
+type car = { idx : int; piece : Pieces.t; flag : bool; tag : bool }
+
+type state = {
+  up : car option;
+  want_idx : int;  (* -1 when idle *)
+  bc : car option;
+  cursor : int;
+  seen : int;  (* bitmask of member-piece levels observed this cycle *)
+  complete : bool;  (* all indices observed consecutively this cycle *)
+  last_lvl : int;  (* last member level (Top ordering check); -1 at cycle start *)
+  alarm : bool;
+}
+
+let init =
+  {
+    up = None;
+    want_idx = -1;
+    bc = None;
+    cursor = 0;
+    seen = 0;
+    complete = false;
+    last_lvl = -1;
+    alarm = false;
+  }
+
+let bits (s : state) =
+  let car_bits = function
+    | None -> 1
+    | Some c -> 2 + Ssmst_sim.Memory.of_nat c.idx + Pieces.bits c.piece + 1
+  in
+  car_bits s.up + car_bits s.bc
+  + Ssmst_sim.Memory.of_int s.want_idx
+  + Ssmst_sim.Memory.of_nat s.cursor
+  + Ssmst_sim.Memory.of_nat s.seen + 3
+  + Ssmst_sim.Memory.of_int s.last_lvl
+
+type peer = { lbl : Partition.node_part_label; st : state }
+
+let lo (l : Partition.node_part_label) = min (2 * l.dfs_rank) l.k
+let hi (l : Partition.node_part_label) = min (2 * (l.dfs_rank + l.subtree)) l.k
+
+let own_piece (l : Partition.node_part_label) i =
+  let base = 2 * l.dfs_rank in
+  if i >= base && i - base < Array.length l.own then Some l.own.(i - base) else None
+
+(* One activation.  [flag_rule piece ~parent_flag] computes the membership
+   flag when loading the piece into [bc]; [member piece ~flag] decides
+   whether the broadcast piece belongs to this node's own fragment at the
+   piece's level; [required] is the level bitmask the cycle-set check must
+   cover; [ordered] enables the strictly-increasing-levels check (Top
+   trains); [hold] delays the broadcast while a neighbour's request is being
+   served (Section 7.2, asynchronous mode). *)
+let step ~(lbl : Partition.node_part_label) ~(parent : peer option) ~(children : peer list)
+    ~flag_rule ~member ~required ~ordered ~hold (s : state) =
+  let k = lbl.k in
+  if k = 0 then
+    (* nothing to carry: alarm iff some level is required anyway *)
+    { init with alarm = s.alarm || required <> 0 }
+  else begin
+    let is_root = lbl.dfs_rank = 0 in
+    let lo_v = lo lbl and hi_v = hi lbl in
+    let in_range i = i >= lo_v && i < hi_v in
+    let cursor = ((s.cursor mod k) + k) mod k in
+    (* ---- convergecast: compute the demanded index ---- *)
+    let demand =
+      if is_root then Some cursor
+      else
+        match parent with
+        | None -> None
+        | Some p -> (
+            match p.st.up with
+            | Some c when in_range c.idx -> if in_range (c.idx + 1) then Some (c.idx + 1) else None
+            | Some _ | None ->
+                let w = p.st.want_idx in
+                if w >= 0 && in_range w then Some w else None)
+    in
+    let up =
+      match demand with
+      | None -> None
+      | Some e -> (
+          match s.up with
+          | Some c when c.idx = e -> Some c
+          | _ -> (
+              match own_piece lbl e with
+              | Some pc -> Some { idx = e; piece = pc; flag = false; tag = false }
+              | None -> (
+                  match
+                    List.find_opt (fun ch -> e >= lo ch.lbl && e < hi ch.lbl) children
+                  with
+                  | Some ch -> (
+                      match ch.st.up with
+                      | Some c when c.idx = e -> Some { c with flag = false }
+                      | _ -> None)
+                  | None -> None)))
+    in
+    let want_idx = match demand with Some e -> e | None -> -1 in
+    (* ---- broadcast ---- *)
+    (* the parity tag distinguishes successive deliveries of the same index
+       (k = 1 parts and post-fault recovery) *)
+    let child_acked (target : car) =
+      List.for_all
+        (fun ch ->
+          match ch.st.bc with
+          | Some c -> c.idx = target.idx && c.tag = target.tag
+          | None -> false)
+        children
+    in
+    let incoming =
+      if is_root then
+        (* consume the staged car when every child copied the current one *)
+        match s.bc with
+        | Some c when not (child_acked c) -> None
+        | _ -> (
+            if hold then None
+            else
+              let tag = match s.bc with Some c -> not c.tag | None -> false in
+              match up with
+              | Some u when u.idx = cursor ->
+                  Some { u with flag = flag_rule u.piece ~parent_flag:false; tag }
+              | _ -> None)
+      else
+        match parent with
+        | None -> None
+        | Some p -> (
+            match p.st.bc with
+            | Some pc
+              when (match s.bc with
+                   | Some c -> c.idx <> pc.idx || c.tag <> pc.tag
+                   | None -> true)
+                   && (match s.bc with Some c -> child_acked c | None -> true)
+                   && not hold ->
+                Some { pc with flag = flag_rule pc.piece ~parent_flag:pc.flag }
+            | _ -> None)
+    in
+    match incoming with
+    | None -> { s with up; want_idx; cursor; alarm = s.alarm }
+    | Some car ->
+        (* cycle bookkeeping on each newly observed index *)
+        let wrapped = car.idx = 0 in
+        let consecutive =
+          match s.bc with
+          | Some old -> car.idx = old.idx + 1 || (wrapped && old.idx = k - 1)
+          | None -> false
+        in
+        let alarm_cycle =
+          (* a completed cycle must have covered all required levels *)
+          wrapped && s.complete
+          && (match s.bc with Some old -> old.idx = k - 1 | None -> false)
+          && s.seen land required <> required
+        in
+        let is_member = member car.piece ~flag:car.flag in
+        let alarm_order =
+          ordered && is_member && (not wrapped) && s.last_lvl >= 0
+          && car.piece.Pieces.level <= s.last_lvl
+        in
+        let seen0 = if wrapped then 0 else s.seen in
+        let last0 = if wrapped then -1 else s.last_lvl in
+        let seen =
+          if is_member then seen0 lor (1 lsl min car.piece.Pieces.level 60) else seen0
+        in
+        let last_lvl = if is_member then car.piece.Pieces.level else last0 in
+        let complete = if wrapped then consecutive else s.complete && consecutive in
+        let cursor = if is_root then (cursor + 1) mod k else cursor in
+        let up = if is_root then None else up in
+        {
+          up;
+          want_idx;
+          bc = Some car;
+          cursor;
+          seen;
+          complete;
+          last_lvl;
+          alarm = s.alarm || alarm_cycle || alarm_order;
+        }
+  end
+
+(* Arbitrary corruption for fault injection. *)
+let corrupt st (s : state) =
+  let rnd_car () =
+    if Random.State.bool st then None
+    else
+      Some
+        {
+          idx = Random.State.int st 64;
+          piece = Pieces.random st;
+          flag = Random.State.bool st;
+          tag = Random.State.bool st;
+        }
+  in
+  {
+    s with
+    up = rnd_car ();
+    bc = rnd_car ();
+    cursor = Random.State.int st 64;
+    want_idx = Random.State.int st 64 - 1;
+    seen = Random.State.int st 4096;
+    complete = Random.State.bool st;
+    last_lvl = Random.State.int st 12 - 1;
+  }

@@ -1,0 +1,51 @@
+open Ssmst_graph
+open Ssmst_sim
+
+(** The enhanced Awerbuch–Varghese resynchronizer (Section 10, Theorems
+    10.1–10.3): alternate a construction regime (self-stabilizing leader
+    election + SYNC_MST + marker, charged at its measured O(n) cost) with a
+    verification regime (the Section 7–8 verifier running as a live network
+    protocol); any alarm triggers a reset and a reconstruction.  The result
+    is a self-stabilizing MST construction with O(log n) bits per node and
+    O(n) time, inheriting the verifier's detection time and distance. *)
+
+type event =
+  | Constructed of int  (** rounds charged for election + SYNC_MST + marker *)
+  | Detected of { rounds : int; distance : int option }
+  | Quiescent of int
+
+type t = {
+  graph : Graph.t;
+  mode : Verifier.mode;
+  daemon : Scheduler.t;
+  mutable marker : Marker.t;
+  mutable total_rounds : int;
+  mutable reconstructions : int;
+  mutable history : event list;  (** most recent first *)
+  mutable peak_bits : int;
+  mutable run_verify : int -> [ `Alarm of int * int option | `Quiet ];
+  mutable inject : Random.State.t -> int -> int list;
+}
+
+val construction_cost : Graph.t -> Marker.t -> int
+
+val create : ?mode:Verifier.mode -> ?daemon:Scheduler.t -> Graph.t -> t
+(** Start from an arbitrary configuration: the first act is a
+    reconstruction (Theorem 10.2: O(n) stabilization). *)
+
+val reconstruct : t -> unit
+
+val advance : t -> rounds:int -> unit
+(** Run the verification regime for [rounds]; reconstruct on detection. *)
+
+val inject_faults : t -> Random.State.t -> count:int -> int list
+(** Corrupt [count] nodes of the running verification network. *)
+
+val tree : t -> Tree.t
+(** The current output. *)
+
+val stabilization_rounds : t -> int
+(** Cost of the initial stabilization. *)
+
+val memory_bits : t -> int
+(** Peak per-node register size across regimes. *)

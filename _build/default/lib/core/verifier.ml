@@ -1,0 +1,613 @@
+open Ssmst_graph
+open Ssmst_sim
+
+(* The complete self-stabilizing MST verifier (Sections 7-8).
+
+   Each node's register holds its (corruptible) marker label plus the
+   verifier's working state: two trains (one per partition) and the
+   comparison module.  One activation performs:
+
+   1. the 1-round structural checks: Example SP (spanning tree), Example
+      NumK (node count), conditions RS0-RS5 / EPS0-EPS5 on the strings, and
+      the part-label consistency checks (DFS ranks, subtree sizes, k,
+      EDIAM-style depth/diameter bounds);
+   2. one step of each train (Section 7.1), including the cycle-set and
+      ordering checks of Section 8;
+   3. one step of the comparison module (Section 7.2): capture Ask pieces
+      from the own trains, observe neighbours' broadcast buffers (their
+      Show), and run the minimality checks C1 and C2 plus the fragment
+      agreement check of Claim 8.3.
+
+   In [Passive] mode (synchronous networks, Lemma 7.5) a node holds each Ask
+   piece for a full train-cycle window and reads all neighbours every pulse.
+   In [Handshake] mode (asynchronous networks, Lemma 7.6) it requests levels
+   from one server at a time through its Want register, and servers delay
+   their train while a requested piece is on display.  Detected faults latch
+   the alarm bit. *)
+
+type mode = Passive | Handshake
+
+type cmp_state = {
+  ask_level : int;  (* level currently verified; -1 before initialization *)
+  ask : Pieces.t option;  (* captured I(F_j(v)) *)
+  port : int;  (* handshake: server cursor *)
+  want : (int * int) option;  (* handshake: (server identity, level) *)
+  window : int;  (* rounds left for the current level / server *)
+}
+
+type state = {
+  label : Marker.node_label;
+  train_top : Train.state;
+  train_bot : Train.state;
+  cmp : cmp_state;
+  alarm : bool;  (* latched *)
+}
+
+let cmp_init = { ask_level = -1; ask = None; port = 0; want = None; window = 0 }
+
+module type CONFIG = sig
+  val marker : Marker.t
+  val mode : mode
+end
+
+(* The per-level window: a multiple of the worst train cycle (k + diameter),
+   both O(log n); computable from the node's own label.  [window_factor] is
+   the ablation knob: windows shorter than a full train cycle lose
+   comparison opportunities (detection slows or is missed); longer ones only
+   stretch the Ask cycle linearly. *)
+let window_factor = ref 40
+
+let window_bound (l : Marker.node_label) =
+  let t = max 2 (Memory.of_nat (max 2 l.nk_n)) in
+  (!window_factor * t) + !window_factor
+
+module Make (C : CONFIG) = struct
+  type nonrec state = state
+
+  let init _g v =
+    {
+      label = C.marker.labels.(v);
+      train_top = Train.init;
+      train_bot = Train.init;
+      cmp = cmp_init;
+      alarm = false;
+    }
+
+  (* ---------------- helpers over the claimed structure ---------------- *)
+
+  let claimed_parent g v (l : Marker.node_label) =
+    match l.comp_port with
+    | Some p when p < Graph.degree g v -> Some (Graph.peer_at g v p)
+    | Some _ -> None
+    | None -> None
+
+  let points_at g u (lu : Marker.node_label) v =
+    match claimed_parent g u lu with Some w -> w = v | None -> false
+
+  (* ---------------- structural 1-round checks ---------------- *)
+
+  let structural_ok g v (l : Marker.node_label) (labels : int -> Marker.node_label) =
+    let bad = ref [] in
+    let fail name = bad := name :: !bad in
+    let deg = Graph.degree g v in
+    let my_id = Graph.id g v in
+    let parent = claimed_parent g v l in
+    (match (l.comp_port, parent) with Some _, None -> fail "comp-port" | _ -> ());
+    let children = ref [] in
+    for p = deg - 1 downto 0 do
+      let u = Graph.peer_at g v p in
+      if points_at g u (labels u) v then children := u :: !children
+    done;
+    let children = !children in
+    let is_root = l.sp_depth = 0 in
+    (* Example SP *)
+    if is_root then begin if l.sp_root <> my_id then fail "sp-root-id" end
+    else begin
+      match parent with
+      | None -> fail "sp-no-parent"
+      | Some p -> if (labels p).sp_depth <> l.sp_depth - 1 then fail "sp-depth"
+    end;
+    Array.iter
+      (fun (h : Graph.half_edge) -> if (labels h.peer).sp_root <> l.sp_root then fail "sp-root-agree")
+      (Graph.ports g v);
+    (* Example NumK *)
+    Array.iter
+      (fun (h : Graph.half_edge) -> if (labels h.peer).nk_n <> l.nk_n then fail "nk-agree")
+      (Graph.ports g v);
+    let sub = List.fold_left (fun acc c -> acc + (labels c).nk_sub) 1 children in
+    if l.nk_sub <> sub then fail "nk-sum";
+    if is_root && l.nk_sub <> l.nk_n then fail "nk-root";
+    (* string conditions RS / EPS *)
+    let view : Labels.view =
+      {
+        label = (fun u -> if u = v then l.strings else (labels u).strings);
+        parent = (fun _ -> parent);
+        children = (fun _ -> children);
+        is_root = (fun _ -> is_root);
+        ident = (fun u -> Graph.id g u);
+      }
+    in
+    if Labels.check_node view v <> [] then fail "rs-eps";
+    (* strings length vs claimed n *)
+    if l.strings.len > Memory.of_nat (max 2 l.nk_n) + 2 then fail "len-bound";
+    if l.delim > l.strings.len then fail "delim-bound";
+    (* part labels *)
+    let t = max 2 (Memory.of_nat (max 2 l.nk_n)) in
+    let check_part which (pl : Partition.node_part_label) =
+      let parent_pl =
+        match parent with
+        | None -> None
+        | Some p ->
+            let pp = if which = `Top then (labels p).top else (labels p).bot in
+            if pp.part_root_id = pl.part_root_id then Some pp else None
+      in
+      (match parent_pl with
+      | None ->
+          (* part root *)
+          if pl.part_root_id <> my_id then fail "part-root-id";
+          if pl.dfs_rank <> 0 then fail "part-root-dfs";
+          if pl.depth_in_part <> 0 then fail "part-root-depth";
+          if Array.length pl.own <> min 2 pl.k then fail "part-root-own";
+          (match which with
+          | `Top ->
+              if pl.subtree < t then fail "top-size";
+              if pl.dbound > (4 * t) + 4 then fail "top-dbound";
+              if pl.k > l.strings.len then fail "top-k"
+          | `Bottom ->
+              if pl.subtree >= t then fail "bot-size";
+              if pl.k > 2 * pl.subtree then fail "bot-k")
+      | Some pp ->
+          if pl.depth_in_part <> pp.depth_in_part + 1 then fail "part-depth";
+          if pl.depth_in_part > pl.dbound then fail "part-depth-bound";
+          if pl.k <> pp.k then fail "part-k";
+          if pl.dbound <> pp.dbound then fail "part-dbound");
+      (* same-part children: subtree sum and DFS ranks in port order *)
+      let same_part_children =
+        List.filter
+          (fun c ->
+            let cp = if which = `Top then (labels c).top else (labels c).bot in
+            cp.part_root_id = pl.part_root_id)
+          children
+      in
+      let sum =
+        List.fold_left
+          (fun acc c ->
+            let cp = if which = `Top then (labels c).top else (labels c).bot in
+            acc + cp.subtree)
+          1 same_part_children
+      in
+      if pl.subtree <> sum then fail "part-subtree";
+      let expect = ref (pl.dfs_rank + 1) in
+      List.iter
+        (fun c ->
+          let cp = if which = `Top then (labels c).top else (labels c).bot in
+          if cp.dfs_rank <> !expect then fail "part-dfs-order";
+          expect := !expect + cp.subtree)
+        same_part_children;
+      (* own pieces shape *)
+      let expected_own = max 0 (min 2 (pl.k - (2 * pl.dfs_rank))) in
+      if Array.length pl.own <> expected_own then fail "own-shape";
+      Array.iter
+        (fun (pc : Pieces.t) -> if pc.level >= l.strings.len then fail "own-level")
+        pl.own
+    in
+    check_part `Top l.top;
+    check_part `Bottom l.bot;
+    (List.rev !bad, parent, children, is_root)
+
+  (* ---------------- membership rules ---------------- *)
+
+  let roots_at (l : Marker.node_label) j =
+    if j >= 0 && j < l.strings.len then l.strings.roots.(j) else Labels.RStar
+
+  let member_top (l : Marker.node_label) (pc : Pieces.t) ~flag:_ =
+    pc.level >= l.delim && pc.level < l.strings.len && roots_at l pc.level <> Labels.RStar
+
+  let member_bot (l : Marker.node_label) (pc : Pieces.t) ~flag =
+    flag && pc.level < l.delim && roots_at l pc.level <> Labels.RStar
+
+  let flag_rule g v (l : Marker.node_label) (pc : Pieces.t) ~parent_flag =
+    match roots_at l pc.level with
+    | Labels.R1 -> Graph.id g v = pc.root_id
+    | Labels.R0 -> parent_flag
+    | Labels.RStar -> false
+
+  (* levels a node must see per train (excluding the top level ell) *)
+  let required_levels (l : Marker.node_label) which =
+    let ell = l.strings.len - 1 in
+    let mask = ref 0 in
+    for j = 0 to min (ell - 1) 60 do
+      if roots_at l j <> Labels.RStar then
+        let top = j >= l.delim in
+        if (which = `Top) = top then mask := !mask lor (1 lsl j)
+    done;
+    !mask
+
+  (* levels iterated by the comparison module: all of J(v) below ell *)
+  let cmp_levels (l : Marker.node_label) =
+    let ell = l.strings.len - 1 in
+    List.filter (fun j -> roots_at l j <> Labels.RStar) (List.init (max 0 ell) Fun.id)
+
+  let next_level (l : Marker.node_label) j =
+    match cmp_levels l with
+    | [] -> -1
+    | ls -> (
+        match List.find_opt (fun x -> x > j) ls with
+        | Some x -> x
+        | None -> List.hd ls)
+
+  (* the piece currently on display at node u for level j, if any: the
+     member-filtered broadcast buffer of either of u's trains (its Show) *)
+  let show_at (su : state) j =
+    let of_train member (ts : Train.state) =
+      match ts.bc with
+      | Some c when c.piece.Pieces.level = j && member c.piece ~flag:c.flag -> Some c.piece
+      | _ -> None
+    in
+    match of_train (member_top su.label) su.train_top with
+    | Some p -> Some p
+    | None -> of_train (member_bot su.label) su.train_bot
+
+  (* ---------------- the comparison checks ---------------- *)
+
+  (* C2 for the edge (v,u): the claimed minimum outgoing weight must not
+     exceed the edge's actual ω′ weight. *)
+  let c2_ok g v u (ask : Pieces.t) ~in_tree =
+    let w =
+      Weight.make ~base:(Graph.base_weight g v u) ~in_tree ~id_u:(Graph.id g v)
+        ~id_v:(Graph.id g u)
+    in
+    Weight.(ask.Pieces.weight <= w)
+
+  (* whether the (claimed) tree neighbour shares v's level-j fragment *)
+  let tree_same_frag (l : Marker.node_label) (lu : Marker.node_label) ~u_is_parent j =
+    if u_is_parent then roots_at l j = Labels.R0 else roots_at lu j = Labels.R0
+
+  (* compare the Ask piece against one neighbour; returns [`Ok]/[`Alarm] or
+     [`Wait] when the needed piece is not on display *)
+  let compare_with g v (l : Marker.node_label) (ask : Pieces.t) u (su : state)
+      ~(parent : int option) ~(children : int list) =
+    let j = ask.Pieces.level in
+    let lu = su.label in
+    let in_tree =
+      (match parent with Some p -> p = u | None -> false) || List.mem u children
+    in
+    if in_tree then begin
+      let u_is_parent = parent = Some u in
+      if tree_same_frag l lu ~u_is_parent j then
+        (* same fragment: pieces must agree whenever u's is on display *)
+        match show_at su j with
+        | Some pu -> if Pieces.equal ask pu then `Ok else `Alarm
+        | None -> `Ok (* u's own cycle-set check forces it to appear *)
+      else if
+        (* outgoing tree edge: C2 *)
+        c2_ok g v u ask ~in_tree:true
+      then `Ok
+      else `Alarm
+    end
+    else if roots_at lu j = Labels.RStar then
+      (* u belongs to no level-j fragment: outgoing for sure *)
+      if c2_ok g v u ask ~in_tree:false then `Ok else `Alarm
+    else
+      match show_at su j with
+      | Some pu ->
+          if pu.Pieces.root_id = ask.Pieces.root_id then
+            (* same fragment across a non-tree edge: pieces must agree *)
+            if Pieces.equal ask pu then `Ok else `Alarm
+          else if c2_ok g v u ask ~in_tree:false then `Ok
+          else `Alarm
+      | None -> `Wait
+
+  (* C1: if v is the endpoint of its level-j candidate, the edge must leave
+     the fragment and carry exactly the claimed weight. *)
+  let c1_ok g v (l : Marker.node_label) (ask : Pieces.t) ~(parent : int option)
+      ~(children : int list) (labels : int -> Marker.node_label) =
+    let j = ask.Pieces.level in
+    if j >= l.strings.len then true
+    else
+      match l.strings.endp.(j) with
+      | Labels.ENone | Labels.EStar -> true
+      | Labels.Up | Labels.Down -> (
+          let target =
+            match l.strings.endp.(j) with
+            | Labels.Up -> parent
+            | Labels.Down ->
+                List.find_opt
+                  (fun c ->
+                    let lc = labels c in
+                    j < lc.strings.len && lc.strings.parents.(j))
+                  children
+            | Labels.ENone | Labels.EStar -> None
+          in
+          match target with
+          | None -> false
+          | Some u ->
+              let lu = labels u in
+              let u_is_parent = parent = Some u in
+              (not (tree_same_frag l lu ~u_is_parent j))
+              && Weight.equal ask.Pieces.weight
+                   (Weight.make ~base:(Graph.base_weight g v u) ~in_tree:true
+                      ~id_u:(Graph.id g v) ~id_v:(Graph.id g u)))
+
+  (* ---------------- one activation ---------------- *)
+
+  let step g v (s : state) read =
+    let l = s.label in
+    let labels u = (read u).label in
+    let struct_bad, parent, children, _is_root = structural_ok g v l labels in
+    let struct_ok = struct_bad = [] in
+    (* --- trains --- *)
+    let peer_of which u =
+      let su = read u in
+      match which with
+      | `Top -> { Train.lbl = su.label.top; st = su.train_top }
+      | `Bottom -> { Train.lbl = su.label.bot; st = su.train_bot }
+    in
+    let train_ctx which =
+      let my_pl = if which = `Top then l.top else l.bot in
+      let parent_peer =
+        match parent with
+        | Some p ->
+            let pr = peer_of which p in
+            if pr.Train.lbl.part_root_id = my_pl.part_root_id then Some pr else None
+        | None -> None
+      in
+      let child_peers =
+        List.filter_map
+          (fun c ->
+            let pr = peer_of which c in
+            if pr.Train.lbl.part_root_id = my_pl.part_root_id then Some pr else None)
+          children
+      in
+      (my_pl, parent_peer, child_peers)
+    in
+    (* handshake: hold the train while a neighbour requests the level
+       currently on display *)
+    let held which (ts : Train.state) =
+      C.mode = Handshake
+      &&
+      match ts.bc with
+      | Some c ->
+          let memb =
+            if which = `Top then member_top l c.piece ~flag:c.flag
+            else member_bot l c.piece ~flag:c.flag
+          in
+          memb
+          && Array.exists
+               (fun (h : Graph.half_edge) ->
+                 match (read h.peer).cmp.want with
+                 | Some (srv, j) -> srv = Graph.id g v && j = c.piece.Pieces.level
+                 | None -> false)
+               (Graph.ports g v)
+      | None -> false
+    in
+    let step_train which (ts : Train.state) =
+      let my_pl, parent_peer, child_peers = train_ctx which in
+      Train.step ~lbl:my_pl ~parent:parent_peer ~children:child_peers
+        ~flag_rule:(flag_rule g v l)
+        ~member:(if which = `Top then member_top l else member_bot l)
+        ~required:(required_levels l which)
+        ~ordered:(which = `Top)
+        ~hold:(held which ts) ts
+    in
+    let train_top = step_train `Top s.train_top in
+    let train_bot = step_train `Bottom s.train_bot in
+    (* --- comparison --- *)
+    let alarm = ref (s.alarm || (not struct_ok) || train_top.alarm || train_bot.alarm) in
+    let cmp = ref s.cmp in
+    let w = window_bound l in
+    (match cmp_levels l with
+    | [] -> cmp := cmp_init
+    | levels ->
+        (* (re)initialize the level when out of range *)
+        if not (List.mem !cmp.ask_level levels) then
+          cmp := { cmp_init with ask_level = List.hd levels; window = w };
+        let c = !cmp in
+        (* capture the Ask piece from the own trains *)
+        let c =
+          match c.ask with
+          | Some _ -> c
+          | None -> (
+              let own_show =
+                let of_train member (ts : Train.state) =
+                  match ts.bc with
+                  | Some car
+                    when car.piece.Pieces.level = c.ask_level
+                         && member car.piece ~flag:car.flag ->
+                      Some car.piece
+                  | _ -> None
+                in
+                match of_train (member_top l) train_top with
+                | Some p -> Some p
+                | None -> of_train (member_bot l) train_bot
+              in
+              match own_show with Some p -> { c with ask = p |> Option.some } | None -> c)
+        in
+        (* run checks *)
+        let c =
+          match c.ask with
+          | None ->
+              (* waiting for own train; bounded by the window *)
+              if c.window <= 0 then
+                { c with ask_level = next_level l c.ask_level; ask = None; window = w }
+              else { c with window = c.window - 1 }
+          | Some ask -> (
+              if not (c1_ok g v l ask ~parent ~children labels) then alarm := true;
+              (* Claim 8.3 root check for top pieces *)
+              (if roots_at l ask.Pieces.level = Labels.R1 && ask.Pieces.root_id <> Graph.id g v
+               then alarm := true);
+              match C.mode with
+              | Passive ->
+                  Array.iter
+                    (fun (h : Graph.half_edge) ->
+                      match compare_with g v l ask h.peer (read h.peer) ~parent ~children with
+                      | `Alarm -> alarm := true
+                      | `Ok | `Wait -> ())
+                    (Graph.ports g v);
+                  if c.window <= 0 then
+                    { c with ask_level = next_level l c.ask_level; ask = None; window = w }
+                  else { c with window = c.window - 1 }
+              | Handshake ->
+                  let deg = Graph.degree g v in
+                  let advance c =
+                    if c.port + 1 >= deg then
+                      {
+                        ask_level = next_level l c.ask_level;
+                        ask = None;
+                        port = 0;
+                        want = None;
+                        window = w;
+                      }
+                    else { c with port = c.port + 1; want = None; window = w }
+                  in
+                  let u = Graph.peer_at g v (min c.port (deg - 1)) in
+                  (match compare_with g v l ask u (read u) ~parent ~children with
+                  | `Alarm ->
+                      alarm := true;
+                      advance c
+                  | `Ok -> advance c
+                  | `Wait ->
+                      if c.window <= 0 then advance c
+                      else
+                        {
+                          c with
+                          want = Some (Graph.id g u, ask.Pieces.level);
+                          window = c.window - 1;
+                        }))
+        in
+        cmp := c);
+    { label = l; train_top; train_bot; cmp = !cmp; alarm = !alarm }
+
+  let alarm s = s.alarm
+
+  (* Names of the structural checks node [v] currently violates (diagnostic
+     aid for tests and the CLI). *)
+  let diagnose g v (s : state) read =
+    let bad, _, _, _ = structural_ok g v s.label (fun u -> (read u).label) in
+    bad
+
+  let bits s =
+    Marker.label_bits s.label + Train.bits s.train_top + Train.bits s.train_bot
+    + Memory.of_int s.cmp.ask_level
+    + Memory.of_option Pieces.bits s.cmp.ask
+    + Memory.of_nat s.cmp.port
+    + Memory.of_option (fun (a, b) -> Memory.of_int a + Memory.of_nat b) s.cmp.want
+    + Memory.of_nat s.cmp.window + 1
+
+  (* A purely *semantic* fault for detection-time experiments: perturb the
+     weight of one stored piece so that every 1-round structural check still
+     passes and only the train-borne checks (agreement, C1, C2) can expose
+     it.  Returns [None] when the node stores no piece. *)
+  let corrupt_piece_weight st (s : state) =
+    let l = s.label in
+    let fix (pl : Partition.node_part_label) =
+      if Array.length pl.own = 0 then None
+      else begin
+        let own = Array.copy pl.own in
+        (* corrupt the highest-level stored piece: the worst case for the
+           detection time, since the Ask cycle reaches high levels last *)
+        let i = ref 0 in
+        Array.iteri (fun k pc -> if pc.Pieces.level > own.(!i).Pieces.level then i := k) own;
+        let i = !i in
+        let w = own.(i).Pieces.weight in
+        own.(i) <-
+          {
+            (own.(i)) with
+            Pieces.weight = { w with Weight.base = w.Weight.base + 1 + Random.State.int st 7 };
+          };
+        Some { pl with own }
+      end
+    in
+    let label =
+      if Random.State.bool st then
+        match fix l.top with
+        | Some top -> Some { l with top }
+        | None -> Option.map (fun bot -> { l with bot }) (fix l.bot)
+      else
+        match fix l.bot with
+        | Some bot -> Some { l with bot }
+        | None -> Option.map (fun top -> { l with top }) (fix l.top)
+    in
+    Option.map (fun label -> { s with label; cmp = cmp_init; alarm = false }) label
+
+  (* Adversarial fault: corrupt the persistent label data (and possibly the
+     transient verifier state).  The alarm latch is cleared so detection
+     time is measured from scratch. *)
+  let corrupt st g v (s : state) =
+    let l = s.label in
+    let mutate () =
+      let pick = Random.State.int st 6 in
+      match pick with
+      | 0 ->
+          (* corrupt a stored piece's weight or identity *)
+          let fix (pl : Partition.node_part_label) =
+            if Array.length pl.own = 0 then pl
+            else begin
+              let own = Array.copy pl.own in
+              let i = Random.State.int st (Array.length own) in
+              own.(i) <-
+                (if Random.State.bool st then Pieces.random st
+                 else
+                   {
+                     (own.(i)) with
+                     Pieces.weight =
+                       Weight.make
+                         ~base:(1 + Random.State.int st 4)
+                         ~in_tree:false ~id_u:0 ~id_v:1;
+                   });
+              { pl with own }
+            end
+          in
+          if Random.State.bool st then { l with top = fix l.top } else { l with bot = fix l.bot }
+      | 1 ->
+          (* corrupt a string entry *)
+          let strings =
+            {
+              l.strings with
+              Labels.roots = Array.copy l.strings.Labels.roots;
+              endp = Array.copy l.strings.Labels.endp;
+            }
+          in
+          let j = Random.State.int st strings.Labels.len in
+          if Random.State.bool st then
+            strings.Labels.roots.(j) <-
+              [| Labels.R1; Labels.R0; Labels.RStar |].(Random.State.int st 3)
+          else
+            strings.Labels.endp.(j) <-
+              [| Labels.Up; Labels.Down; Labels.ENone; Labels.EStar |].(Random.State.int st 4);
+          { l with strings }
+      | 2 ->
+          (* corrupt the component pointer *)
+          let deg = Graph.degree g v in
+          let comp_port =
+            if Random.State.bool st then None else Some (Random.State.int st deg)
+          in
+          { l with comp_port }
+      | 3 -> { l with sp_depth = Random.State.int st (2 * Graph.n g); sp_root = Random.State.int st (2 * Graph.n g) }
+      | 4 -> { l with nk_sub = Random.State.int st (2 * Graph.n g) }
+      | _ -> (
+          (* flip the top/bottom classification of a real level of the node;
+             values in the gap between the classes are semantically inert *)
+          match cmp_levels l with
+          | [] -> l
+          | levels ->
+              let j = List.nth levels (Random.State.int st (List.length levels)) in
+              { l with delim = (if j >= l.delim then j + 1 else j) })
+    in
+    (* a fault that does not change the persistent label is no fault at all:
+       retry until the label actually differs *)
+    let rec pick_label tries =
+      if tries = 0 then { l with sp_depth = l.sp_depth + 1 }
+      else
+        let l' = mutate () in
+        if l' = l then pick_label (tries - 1) else l'
+    in
+    let label = pick_label 16 in
+    {
+      label;
+      train_top = (if Random.State.bool st then Train.corrupt st s.train_top else s.train_top);
+      train_bot = (if Random.State.bool st then Train.corrupt st s.train_bot else s.train_bot);
+      cmp = cmp_init;
+      alarm = false;
+    }
+end

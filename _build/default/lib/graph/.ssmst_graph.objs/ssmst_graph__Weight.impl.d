@@ -1,0 +1,1 @@
+lib/graph/weight.ml: Fmt Int Stdlib

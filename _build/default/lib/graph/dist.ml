@@ -1,0 +1,62 @@
+(* Hop distances (BFS), eccentricities and diameter.  Used for detection
+   distance measurements and partition diameter checks. *)
+
+let bfs (g : Graph.t) src =
+  let n = Graph.n g in
+  let d = Array.make n (-1) in
+  let q = Queue.create () in
+  d.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun (h : Graph.half_edge) ->
+        if d.(h.peer) < 0 then begin
+          d.(h.peer) <- d.(u) + 1;
+          Queue.add h.peer q
+        end)
+      (Graph.ports g u)
+  done;
+  d
+
+(* BFS restricted to a node subset; distances within the induced subgraph. *)
+let bfs_within (g : Graph.t) ~member src =
+  let n = Graph.n g in
+  let d = Array.make n (-1) in
+  let q = Queue.create () in
+  if member src then begin
+    d.(src) <- 0;
+    Queue.add src q
+  end;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun (h : Graph.half_edge) ->
+        if member h.peer && d.(h.peer) < 0 then begin
+          d.(h.peer) <- d.(u) + 1;
+          Queue.add h.peer q
+        end)
+      (Graph.ports g u)
+  done;
+  d
+
+let eccentricity g v = Array.fold_left max 0 (bfs g v)
+
+let diameter g =
+  let d = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let e = eccentricity g v in
+    if e > !d then d := e
+  done;
+  !d
+
+(* Diameter of the subgraph induced by [member]; assumes it is connected. *)
+let diameter_within g ~member =
+  let d = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if member v then
+      Array.iter (fun x -> if x > !d then d := x) (bfs_within g ~member v)
+  done;
+  !d
+
+let hop_distance g u v = (bfs g u).(v)

@@ -1,0 +1,17 @@
+(** Hop distances, eccentricities and diameters (BFS), used for detection
+    distance measurements and partition checks. *)
+
+val bfs : Graph.t -> int -> int array
+(** Hop distances from a source; [-1] for unreachable nodes. *)
+
+val bfs_within : Graph.t -> member:(int -> bool) -> int -> int array
+(** BFS restricted to the subgraph induced by [member]. *)
+
+val eccentricity : Graph.t -> int -> int
+
+val diameter : Graph.t -> int
+
+val diameter_within : Graph.t -> member:(int -> bool) -> int
+(** Diameter of the induced subgraph (assumed connected). *)
+
+val hop_distance : Graph.t -> int -> int -> int

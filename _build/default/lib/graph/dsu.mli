@@ -1,0 +1,18 @@
+(** Union–find with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a structure over elements [0 .. n-1], each its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative of an element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; [false] if they were already the same set. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements share a set. *)
+
+val components : t -> int
+(** Current number of disjoint sets. *)

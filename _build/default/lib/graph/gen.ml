@@ -1,0 +1,187 @@
+(* Graph generators for tests, examples and benchmarks.  All randomness is
+   drawn from an explicit [Random.State.t] so every experiment is
+   reproducible from its seed. *)
+
+let rng seed = Random.State.make [| seed |]
+
+(* Distinct random base weights in [1, bound]; when [distinct] is set the
+   weights are a random permutation slice so the MST is unique already under
+   the base weights. *)
+let assign_weights ?(distinct = true) st m ~bound =
+  if distinct then begin
+    let pool = Array.init (max bound m) (fun i -> i + 1) in
+    for i = Array.length pool - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = pool.(i) in
+      pool.(i) <- pool.(j);
+      pool.(j) <- t
+    done;
+    Array.sub pool 0 m
+  end
+  else Array.init m (fun _ -> 1 + Random.State.int st bound)
+
+let weighted st ?(distinct = true) skeleton =
+  let m = List.length skeleton in
+  let w = assign_weights ~distinct st m ~bound:(8 * m) in
+  List.mapi (fun i (u, v) -> (u, v, w.(i))) skeleton
+
+let path_skeleton n = List.init (n - 1) (fun i -> (i, i + 1))
+
+let ring_skeleton n = (n - 1, 0) :: path_skeleton n
+
+let star_skeleton n = List.init (n - 1) (fun i -> (0, i + 1))
+
+let complete_skeleton n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let grid_skeleton rows cols =
+  let idx r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (idx r c, idx r (c + 1)) :: !acc;
+      if r + 1 < rows then acc := (idx r c, idx (r + 1) c) :: !acc
+    done
+  done;
+  !acc
+
+let binary_tree_skeleton n = List.init (n - 1) (fun i -> (((i + 1) - 1) / 2, i + 1))
+
+(* Random spanning-tree backbone (random attachment) plus [extra] random
+   non-tree edges: always connected, never multi-edged. *)
+let random_connected_skeleton st n ~extra =
+  let edges = ref [] in
+  let seen = Hashtbl.create (n + extra) in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v) :: !edges;
+      true
+    end
+    else false
+  in
+  for v = 1 to n - 1 do
+    ignore (add v (Random.State.int st v))
+  done;
+  let budget = ref extra and attempts = ref (20 * (extra + 1)) in
+  while !budget > 0 && !attempts > 0 do
+    decr attempts;
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if add u v then decr budget
+  done;
+  !edges
+
+let path st n = Graph.of_edges ~n (weighted st (path_skeleton n))
+let ring st n = Graph.of_edges ~n (weighted st (ring_skeleton n))
+let star st n = Graph.of_edges ~n (weighted st (star_skeleton n))
+let complete st n = Graph.of_edges ~n (weighted st (complete_skeleton n))
+let grid st rows cols = Graph.of_edges ~n:(rows * cols) (weighted st (grid_skeleton rows cols))
+let binary_tree st n = Graph.of_edges ~n (weighted st (binary_tree_skeleton n))
+
+let random_connected ?(extra_factor = 2.0) st n =
+  let extra = int_of_float (extra_factor *. float_of_int n) in
+  Graph.of_edges ~n (weighted st (random_connected_skeleton st n ~extra))
+
+(* The Section 9 lower-bound family.  The (h,mu)-hypertrees of [54] are used
+   by the paper as a black box with these properties, which we reproduce
+   exactly: all members share the same unweighted topology, H(G) is a rooted
+   spanning tree, every node is adjacent to at most one non-tree edge, and
+   the root touches only tree edges.  We realize this as a complete binary
+   tree of height [h] with one cross (non-tree) edge between each pair of
+   sibling leaves; the instance information lives entirely in the weights,
+   drawn from [st]. *)
+let hypertree_like st h =
+  let n = (1 lsl (h + 1)) - 1 in
+  let tree = binary_tree_skeleton n in
+  let first_leaf = (1 lsl h) - 1 in
+  let cross = ref [] in
+  let i = ref first_leaf in
+  while !i + 1 < n do
+    cross := (!i, !i + 1) :: !cross;
+    i := !i + 2
+  done;
+  let m = List.length tree + List.length !cross in
+  let w = assign_weights ~distinct:true st m ~bound:(8 * m) in
+  (* tree edges get the lightest weights so H(G) is the (unique) MST in the
+     positive instances; negative instances are produced by the caller by
+     swapping weights. *)
+  let sorted = Array.copy w in
+  Array.sort Int.compare sorted;
+  let k = List.length tree in
+  let tree_edges = List.mapi (fun i (u, v) -> (u, v, sorted.(i))) tree in
+  let cross_edges = List.mapi (fun i (u, v) -> (u, v, sorted.(k + i))) !cross in
+  let g = Graph.of_edges ~n (tree_edges @ cross_edges) in
+  let parent = Array.init n (fun v -> if v = 0 then -1 else (v - 1) / 2) in
+  (g, Tree.of_parents g parent)
+
+(* The path-subdivision transform of Section 9: replace every edge (u,v)
+   with a simple path of [2*tau + 2] nodes (the two endpoints plus 2*tau
+   fresh inner nodes), components oriented as in Figures 10 and 11: a tree
+   chain points entirely towards the parent endpoint, a non-tree chain hangs
+   as two stubs with the middle edge excluded from H(G').
+
+   Weight placement preserves the key property of Lemma 9.1 — H(G') is an
+   MST of G' iff H(G) is an MST of G.  Original weights are scaled up by a
+   factor above every chain-filler weight; each chain carries its original
+   (scaled) weight on exactly one edge, and that edge is the *excluded*
+   middle edge for non-tree chains, so every fundamental cycle of G'
+   compares exactly the weights its preimage cycle compares in G.  All
+   filler weights are distinct. *)
+let subdivide ~tau (g : Graph.t) (t : Tree.t) =
+  let n = Graph.n g in
+  let inner = 2 * tau in
+  let m = Graph.num_edges g in
+  let scale = (inner + 1) * m * 16 in
+  let counter = ref n in
+  let filler = ref 0 in
+  let edges = ref [] in
+  let parent_pairs = ref [] in
+  let fresh_filler () = incr filler; !filler in
+  (* fresh chain between u and v; the original weight sits at position
+     [heavy_at] (an edge index along the chain, 0-based from u). *)
+  let chain u v w ~heavy_at ~tree_edge =
+    let nodes = Array.init inner (fun _ -> let id = !counter in incr counter; id) in
+    let seq = Array.concat [ [| u |]; nodes; [| v |] ] in
+    let len = Array.length seq in
+    for i = 0 to len - 2 do
+      let weight = if i = heavy_at then w * scale else fresh_filler () in
+      edges := (seq.(i), seq.(i + 1), weight) :: !edges
+    done;
+    if tree_edge then
+      (* orient the whole chain towards v (the parent endpoint in t) *)
+      for i = 0 to len - 2 do
+        parent_pairs := (seq.(i), seq.(i + 1)) :: !parent_pairs
+      done
+    else begin
+      (* non-tree edge: two stubs split at the middle edge, as in Fig. 11 *)
+      for i = 1 to tau do
+        parent_pairs := (seq.(i), seq.(i - 1)) :: !parent_pairs
+      done;
+      for i = tau + 1 to len - 2 do
+        parent_pairs := (seq.(i), seq.(i + 1)) :: !parent_pairs
+      done
+    end
+  in
+  Graph.fold_edges
+    (fun () u v w ->
+      if Tree.is_tree_edge t u v then begin
+        (* heavy edge at the far (parent) end, as in Fig. 10 *)
+        if Tree.parent t u = Some v then chain u v w ~heavy_at:inner ~tree_edge:true
+        else chain v u w ~heavy_at:inner ~tree_edge:true
+      end
+      else
+        (* heavy edge in the middle: it is the excluded edge of H(G') *)
+        chain u v w ~heavy_at:tau ~tree_edge:false)
+    () g;
+  let n' = !counter in
+  let g' = Graph.of_edges ~n:n' !edges in
+  let parent = Array.make n' (-1) in
+  List.iter (fun (c, p) -> parent.(c) <- p) !parent_pairs;
+  (g', Tree.of_parents g' parent)

@@ -1,0 +1,50 @@
+(** Graph generators.  All randomness comes from an explicit
+    [Random.State.t], so every experiment is reproducible from its seed. *)
+
+val rng : int -> Random.State.t
+(** A fresh generator state from a seed. *)
+
+val assign_weights : ?distinct:bool -> Random.State.t -> int -> bound:int -> int array
+(** [m] random weights in [[1, bound]]; pairwise distinct when [distinct]
+    (default). *)
+
+val weighted : Random.State.t -> ?distinct:bool -> (int * int) list -> (int * int * int) list
+(** Attach random weights to a skeleton. *)
+
+(** Unweighted skeletons. *)
+
+val path_skeleton : int -> (int * int) list
+val ring_skeleton : int -> (int * int) list
+val star_skeleton : int -> (int * int) list
+val complete_skeleton : int -> (int * int) list
+val grid_skeleton : int -> int -> (int * int) list
+val binary_tree_skeleton : int -> (int * int) list
+
+val random_connected_skeleton : Random.State.t -> int -> extra:int -> (int * int) list
+(** A random spanning-tree backbone plus up to [extra] random chords:
+    always connected, never multi-edged. *)
+
+(** Weighted graphs (distinct random weights). *)
+
+val path : Random.State.t -> int -> Graph.t
+val ring : Random.State.t -> int -> Graph.t
+val star : Random.State.t -> int -> Graph.t
+val complete : Random.State.t -> int -> Graph.t
+val grid : Random.State.t -> int -> int -> Graph.t
+val binary_tree : Random.State.t -> int -> Graph.t
+
+val random_connected : ?extra_factor:float -> Random.State.t -> int -> Graph.t
+(** Random connected graph with about [extra_factor * n] chords
+    (default 2.0). *)
+
+val hypertree_like : Random.State.t -> int -> Graph.t * Tree.t
+(** The Section 9 lower-bound family: a height-[h] instance with the
+    black-box properties of the (h,µ)-hypertrees of [54] — fixed unweighted
+    topology, H(G) a rooted spanning tree and the unique MST, at most one
+    non-tree edge per node, none at the root.  Returns the graph and the
+    candidate tree. *)
+
+val subdivide : tau:int -> Graph.t -> Tree.t -> Graph.t * Tree.t
+(** The G → G′ transform of Section 9: every edge becomes a path of
+    [2*tau + 2] nodes with components oriented as in Figures 10/11.  H(G′)
+    is an MST of G′ iff H(G) is an MST of G. *)

@@ -1,0 +1,144 @@
+(* Weighted undirected graphs in the paper's model (Section 2.1):
+
+   - nodes are indexed [0 .. n-1]; each node [v] carries a unique identity
+     [ids.(v)] encodable in O(log n) bits;
+   - each node numbers its incident edges with local *port numbers*: port [p]
+     of node [v] is position [p] in [adj.(v)].  Port numbers at the two
+     endpoints of an edge are independent;
+   - edge weights are integers polynomial in n.  Distinct weights are not
+     assumed; the lexicographic transform lives in {!weight_fn}. *)
+
+type half_edge = { peer : int; base_weight : int }
+
+type t = {
+  n : int;
+  ids : int array;
+  adj : half_edge array array;
+}
+
+let n t = t.n
+let id t v = t.ids.(v)
+let degree t v = Array.length t.adj.(v)
+let neighbours t v = Array.map (fun h -> h.peer) t.adj.(v)
+let ports t v = t.adj.(v)
+
+let max_degree t =
+  let d = ref 0 in
+  for v = 0 to t.n - 1 do
+    if degree t v > !d then d := degree t v
+  done;
+  !d
+
+let fold_edges f acc t =
+  let acc = ref acc in
+  for u = 0 to t.n - 1 do
+    Array.iter (fun h -> if u < h.peer then acc := f !acc u h.peer h.base_weight) t.adj.(u)
+  done;
+  !acc
+
+let edges t = fold_edges (fun l u v w -> (u, v, w) :: l) [] t |> List.rev
+let num_edges t = fold_edges (fun k _ _ _ -> k + 1) 0 t
+
+exception Malformed of string
+
+(* Build from an edge list.  Rejects self-loops, parallel edges and
+   out-of-range endpoints.  Default identities are the node indices. *)
+let of_edges ?ids ~n edge_list =
+  if n <= 0 then raise (Malformed "empty graph");
+  let ids =
+    match ids with
+    | None -> Array.init n Fun.id
+    | Some a ->
+        if Array.length a <> n then raise (Malformed "ids length mismatch");
+        let sorted = Array.copy a in
+        Array.sort Int.compare sorted;
+        for i = 1 to n - 1 do
+          if sorted.(i) = sorted.(i - 1) then raise (Malformed "duplicate identity")
+        done;
+        Array.copy a
+  in
+  let deg = Array.make n 0 in
+  let seen = Hashtbl.create (List.length edge_list) in
+  List.iter
+    (fun (u, v, _) ->
+      if u = v then raise (Malformed "self-loop");
+      if u < 0 || u >= n || v < 0 || v >= n then raise (Malformed "endpoint out of range");
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then raise (Malformed "parallel edge");
+      Hashtbl.add seen key ();
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let adj = Array.init n (fun v -> Array.make deg.(v) { peer = -1; base_weight = 0 }) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v, w) ->
+      adj.(u).(fill.(u)) <- { peer = v; base_weight = w };
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- { peer = u; base_weight = w };
+      fill.(v) <- fill.(v) + 1)
+    edge_list;
+  { n; ids; adj }
+
+(* Same topology, identities and port numbers, new weights: the operation a
+   link re-pricing performs.  [f u v w] gives the new weight of edge (u,v)
+   with current weight [w]. *)
+let reweight t f =
+  {
+    t with
+    adj =
+      Array.mapi
+        (fun u ports ->
+          Array.map (fun h -> { h with base_weight = f u h.peer h.base_weight }) ports)
+        t.adj;
+  }
+
+let has_edge t u v = Array.exists (fun h -> h.peer = v) t.adj.(u)
+
+let base_weight t u v =
+  match Array.find_opt (fun h -> h.peer = v) t.adj.(u) with
+  | Some h -> h.base_weight
+  | None -> invalid_arg "Graph.base_weight: no such edge"
+
+(* Port number at [u] of the edge leading to [v]. *)
+let port_to t u v =
+  let rec go p =
+    if p >= degree t u then invalid_arg "Graph.port_to: no such edge"
+    else if t.adj.(u).(p).peer = v then p
+    else go (p + 1)
+  in
+  go 0
+
+let peer_at t u port = t.adj.(u).(port).peer
+
+(* The distinct-weight function ω′ for a candidate subgraph: [in_tree u v]
+   says whether the (undirected) edge (u,v) is claimed to be in the candidate
+   tree.  See {!Weight}. *)
+let weight_fn t ~in_tree u v =
+  Weight.make ~base:(base_weight t u v) ~in_tree:(in_tree u v) ~id_u:t.ids.(u)
+    ~id_v:t.ids.(v)
+
+(* ω′ ignoring the tree indicator: used when constructing from scratch, where
+   tie-breaking on identities alone already yields a unique MST. *)
+let plain_weight_fn t u v =
+  Weight.make ~base:(base_weight t u v) ~in_tree:false ~id_u:t.ids.(u) ~id_v:t.ids.(v)
+
+let is_connected t =
+  let seen = Array.make t.n false in
+  let rec dfs v =
+    seen.(v) <- true;
+    Array.iter (fun h -> if not seen.(h.peer) then dfs h.peer) t.adj.(v)
+  in
+  dfs 0;
+  Array.for_all Fun.id seen
+
+(* Index of the node carrying a given identity. *)
+let node_of_id t ident =
+  let rec go v =
+    if v >= t.n then raise Not_found else if t.ids.(v) = ident then v else go (v + 1)
+  in
+  go 0
+
+let pp ppf t =
+  Fmt.pf ppf "graph n=%d m=%d" t.n (num_edges t);
+  fold_edges (fun () u v w -> Fmt.pf ppf "@ %d-%d(%d)" u v w) () t

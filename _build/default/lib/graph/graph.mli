@@ -1,0 +1,74 @@
+(** Weighted undirected graphs in the paper's model (Section 2.1).
+
+    Nodes are indexed [0 .. n-1] and carry unique O(log n)-bit identities.
+    Each node numbers its incident edges with local {e port numbers}
+    independent of the numbering at the other endpoint.  Base weights are
+    integers polynomial in n; distinctness is not assumed — use
+    {!weight_fn} / {!plain_weight_fn} for the ω′ transform. *)
+
+type half_edge = { peer : int; base_weight : int }
+
+type t
+
+exception Malformed of string
+(** Raised on invalid constructions (self-loops, parallel edges, duplicate
+    identities, disconnected parent structures, ...). *)
+
+val of_edges : ?ids:int array -> n:int -> (int * int * int) list -> t
+(** [of_edges ~n edges] builds a graph from [(u, v, weight)] triples.  Port
+    numbers follow the list order.  Default identities are the node
+    indices.  @raise Malformed on self-loops, parallel edges, out-of-range
+    endpoints or duplicate identities. *)
+
+val reweight : t -> (int -> int -> int -> int) -> t
+(** [reweight g f] is [g] with edge (u,v) of weight [w] re-priced to
+    [f u v w]; topology, identities and port numbers are preserved. *)
+
+val n : t -> int
+
+val id : t -> int -> int
+(** The unique identity of a node. *)
+
+val node_of_id : t -> int -> int
+(** Inverse of {!id}.  @raise Not_found if no node carries the identity. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+(** Δ, the maximum degree. *)
+
+val neighbours : t -> int -> int array
+
+val ports : t -> int -> half_edge array
+(** The incident edges of a node, indexed by port number. *)
+
+val port_to : t -> int -> int -> int
+(** [port_to g u v] is the port number at [u] of the edge to [v]. *)
+
+val peer_at : t -> int -> int -> int
+(** [peer_at g u p] is the node at the other end of [u]'s port [p]. *)
+
+val has_edge : t -> int -> int -> bool
+
+val base_weight : t -> int -> int -> int
+(** The base weight of an existing edge. *)
+
+val fold_edges : ('a -> int -> int -> int -> 'a) -> 'a -> t -> 'a
+(** Fold over undirected edges, each visited once as [(u, v, w)] with
+    [u < v]. *)
+
+val edges : t -> (int * int * int) list
+
+val num_edges : t -> int
+
+val weight_fn : t -> in_tree:(int -> int -> bool) -> int -> int -> Weight.t
+(** ω′ relative to a claimed candidate tree: [in_tree u v] states whether
+    the undirected edge (u,v) is claimed to belong to it. *)
+
+val plain_weight_fn : t -> int -> int -> Weight.t
+(** ω′ without the tree indicator; already distinct thanks to the identity
+    tie-breaks.  Used by constructions. *)
+
+val is_connected : t -> bool
+
+val pp : Format.formatter -> t -> unit

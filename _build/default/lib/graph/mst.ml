@@ -1,0 +1,81 @@
+(* Reference (centralized) minimum spanning tree algorithms.  These are the
+   ground truth against which the distributed constructions and the
+   verification schemes are tested.  All comparisons use a distinct weight
+   function [w : int -> int -> Weight.t] so the MST is unique. *)
+
+type weight_fn = int -> int -> Weight.t
+
+(* Kruskal.  Returns the MST edge set (as (u, v) pairs with u < v). *)
+let kruskal (g : Graph.t) (w : weight_fn) =
+  let edges = Graph.fold_edges (fun l u v _ -> (u, v) :: l) [] g in
+  let edges =
+    List.sort (fun (a, b) (c, d) -> Weight.compare (w a b) (w c d)) edges
+  in
+  let dsu = Dsu.create (Graph.n g) in
+  List.filter
+    (fun (u, v) -> Dsu.union dsu u v)
+    edges
+  |> List.map (fun (u, v) -> (min u v, max u v))
+
+(* Prim from a given root; returns a rooted [Tree.t]. *)
+let prim ?(root = 0) (g : Graph.t) (w : weight_fn) =
+  let n = Graph.n g in
+  let in_tree = Array.make n false in
+  let parent = Array.make n (-1) in
+  let best = Array.make n Weight.infinity in
+  let best_via = Array.make n (-1) in
+  in_tree.(root) <- true;
+  Array.iter
+    (fun (h : Graph.half_edge) ->
+      best.(h.peer) <- w root h.peer;
+      best_via.(h.peer) <- root)
+    (Graph.ports g root);
+  for _ = 1 to n - 1 do
+    (* pick the lightest fringe node *)
+    let pick = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not in_tree.(v)) && not (Weight.is_infinity best.(v)) then
+        if !pick < 0 || Weight.(best.(v) < best.(!pick)) then pick := v
+    done;
+    if !pick < 0 then raise (Graph.Malformed "Mst.prim: graph not connected");
+    let v = !pick in
+    in_tree.(v) <- true;
+    parent.(v) <- best_via.(v);
+    Array.iter
+      (fun (h : Graph.half_edge) ->
+        if (not in_tree.(h.peer)) && Weight.(w v h.peer < best.(h.peer)) then begin
+          best.(h.peer) <- w v h.peer;
+          best_via.(h.peer) <- v
+        end)
+      (Graph.ports g v)
+  done;
+  Tree.of_parents g parent
+
+let edge_set_of_tree t =
+  List.map (fun (v, p) -> (min v p, max v p)) (Tree.tree_edges t)
+  |> List.sort compare
+
+(* Decide whether a claimed spanning tree is *the* MST under [w].  With
+   distinct weights the MST is unique, so set equality with Kruskal's output
+   is a sound and complete check. *)
+let is_mst (g : Graph.t) (w : weight_fn) (t : Tree.t) =
+  let reference = kruskal g w |> List.sort compare in
+  edge_set_of_tree t = reference
+
+(* Minimum outgoing edge of a node set [in_set] (the cut rule); [None] if the
+   set has no outgoing edge (i.e. spans the graph or is disconnected from the
+   rest).  Returns (u, v, w) with u inside and v outside. *)
+let min_outgoing (g : Graph.t) (w : weight_fn) ~in_set =
+  let best = ref None in
+  for u = 0 to Graph.n g - 1 do
+    if in_set u then
+      Array.iter
+        (fun (h : Graph.half_edge) ->
+          if not (in_set h.peer) then
+            let cand = w u h.peer in
+            match !best with
+            | Some (_, _, bw) when Weight.(bw <= cand) -> ()
+            | _ -> best := Some (u, h.peer, cand))
+        (Graph.ports g u)
+  done;
+  !best

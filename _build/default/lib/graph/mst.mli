@@ -1,0 +1,24 @@
+(** Reference (centralized) minimum spanning tree algorithms: the ground
+    truth for the distributed constructions and verification schemes. *)
+
+type weight_fn = int -> int -> Weight.t
+(** A distinct weight function over the graph's edges (see
+    {!Graph.weight_fn}). *)
+
+val kruskal : Graph.t -> weight_fn -> (int * int) list
+(** The MST edge set as [(u, v)] pairs with [u < v]. *)
+
+val prim : ?root:int -> Graph.t -> weight_fn -> Tree.t
+(** The MST as a tree rooted at [root] (default 0).
+    @raise Graph.Malformed on disconnected inputs. *)
+
+val edge_set_of_tree : Tree.t -> (int * int) list
+(** Normalized, sorted edge set of a tree. *)
+
+val is_mst : Graph.t -> weight_fn -> Tree.t -> bool
+(** Whether the tree is {e the} (unique, by distinctness) MST. *)
+
+val min_outgoing :
+  Graph.t -> weight_fn -> in_set:(int -> bool) -> (int * int * Weight.t) option
+(** Minimum-weight edge leaving a node set, as [(inside, outside, weight)];
+    [None] if the set has no outgoing edge. *)

@@ -1,0 +1,55 @@
+(* Composite edge weights with the lexicographic distinction transform of
+   Kor-Korman-Peleg [53], as recalled in footnote 1 of the paper.
+
+   An edge weight is compared first by its base weight, then by [1 - Y] where
+   [Y] indicates membership in the candidate tree (so tree edges win ties),
+   and finally by the endpoint identifiers.  Under this order every weight is
+   distinct, and the candidate subgraph T is an MST under the base weights iff
+   it is an MST under the transformed weights. *)
+
+type t = {
+  base : int;  (** the original weight ω(e) *)
+  anti_tree : int;  (** 1 - Y, where Y = 1 iff the edge is in the candidate tree *)
+  id_min : int;  (** min of the endpoint identifiers *)
+  id_max : int;  (** max of the endpoint identifiers *)
+}
+
+let compare (a : t) (b : t) =
+  let c = Int.compare a.base b.base in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.anti_tree b.anti_tree in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.id_min b.id_min in
+      if c <> 0 then c else Int.compare a.id_max b.id_max
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+
+let make ~base ~in_tree ~id_u ~id_v =
+  {
+    base;
+    anti_tree = (if in_tree then 0 else 1);
+    id_min = min id_u id_v;
+    id_max = max id_u id_v;
+  }
+
+(* A weight strictly larger than any weight built from the given bounds; used
+   as the identity for minimum computations. *)
+let infinity = { base = max_int; anti_tree = max_int; id_min = max_int; id_max = max_int }
+
+let is_infinity w = compare w infinity = 0
+
+let pp ppf w =
+  if is_infinity w then Fmt.string ppf "inf"
+  else Fmt.pf ppf "%d.%d.%d.%d" w.base w.anti_tree w.id_min w.id_max
+
+let to_string w = Fmt.str "%a" pp w
+
+(* Number of bits needed to store a weight: the paper assumes weights
+   polynomial in n, i.e. O(log n) bits; we account for the actual value. *)
+let bits w =
+  let b x = if Stdlib.( <= ) x 0 then 1 else succ (int_of_float (log (float_of_int x) /. log 2.)) in
+  b w.base + 1 + b w.id_min + b w.id_max

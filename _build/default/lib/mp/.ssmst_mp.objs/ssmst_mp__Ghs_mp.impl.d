@@ -1,0 +1,1 @@
+lib/mp/ghs_mp.ml: Array Fun Graph Int List Mp Option Ssmst_graph Ssmst_sim Tree Weight

@@ -1,0 +1,1 @@
+lib/mp/mp.ml: Array Graph List Memory Ssmst_graph Ssmst_protocols Ssmst_sim

@@ -1,0 +1,303 @@
+open Ssmst_graph
+
+(* The Gallager-Humblet-Spira algorithm (1983), the full event-driven state
+   machine recalled in Section 4.1, running on the message-passing emulation
+   of {!Mp}.
+
+   Per node: a state (Sleeping / Find / Found), a fragment name FN (an edge
+   weight) and level LN, per-edge statuses (Basic / Branch / Rejected), the
+   in_branch pointer, the best outgoing candidate of the current search, and
+   the find_count of outstanding reports.  Messages: Connect(L),
+   Initiate(L, F, S), Test(L, F), Accept, Reject, Report(w), Change_root.
+   Deferrals implement the protocol's "place the message at the end of the
+   queue" for Connect from lower levels on Basic edges and Test from higher
+   levels.
+
+   At termination the Branch edges form the MST (weights are made distinct
+   with ω′, encoded as a triple so fragment names compare exactly). *)
+
+type node_status = Sleeping | Find | Found
+type edge_status = Basic | Branch | Rejected
+
+(* fragment names are edge weights; keep the full ω′ composite *)
+type fname = { base : int; id_min : int; id_max : int }
+
+let fname_compare a b =
+  let c = Int.compare a.base b.base in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.id_min b.id_min in
+    if c <> 0 then c else Int.compare a.id_max b.id_max
+
+let fname_of_weight (w : Weight.t) = { base = w.Weight.base; id_min = w.Weight.id_min; id_max = w.Weight.id_max }
+
+type message =
+  | Connect of int  (* level *)
+  | Initiate of int * fname * node_status  (* level, fragment name, state *)
+  | Test of int * fname
+  | Accept
+  | Reject
+  | Report of fname option  (* best weight found; None = infinity *)
+  | Change_root
+
+type state = {
+  status : node_status;
+  ln : int;  (* level *)
+  fn : fname option;  (* fragment name; None before the first Initiate *)
+  se : edge_status array;  (* per port *)
+  in_branch : int;  (* port towards the fragment core; -1 initially *)
+  test_edge : int;  (* port under test; -1 = none *)
+  best_edge : int;  (* port of the best candidate; -1 = none *)
+  best_wt : fname option;  (* None = infinity *)
+  find_count : int;
+  halted : bool;
+}
+
+let weight_of g v p =
+  let u = Graph.peer_at g v p in
+  fname_of_weight (Graph.plain_weight_fn g v u)
+
+let fname_lt a b =
+  match (a, b) with
+  | _, None -> true  (* anything < infinity, for Some _ *)
+  | None, _ -> false
+  | _ -> false
+
+let lt_opt a b =
+  match (a, b) with
+  | Some x, Some y -> fname_compare x y < 0
+  | Some _, None -> true
+  | None, _ -> false
+
+let _ = fname_lt
+
+module Proto = struct
+  type nonrec state = state
+  type nonrec message = message
+
+  (* (1) spontaneous wakeup: connect over the minimum incident edge *)
+  let wakeup g v (s : state) =
+    let deg = Graph.degree g v in
+    let m = ref (-1) in
+    for p = 0 to deg - 1 do
+      if s.se.(p) = Basic && (!m < 0 || fname_compare (weight_of g v p) (weight_of g v !m) < 0)
+      then m := p
+    done;
+    (* a connected graph with n >= 2 always has an incident edge *)
+    let se = Array.copy s.se in
+    se.(!m) <- Branch;
+    ( { s with status = Found; ln = 0; se; find_count = 0 },
+      [ (!m, Connect 0) ] )
+
+  let init g v =
+    let deg = Graph.degree g v in
+    let s =
+      {
+        status = Sleeping;
+        ln = 0;
+        fn = None;
+        se = Array.make deg Basic;
+        in_branch = -1;
+        test_edge = -1;
+        best_edge = -1;
+        best_wt = None;
+        find_count = 0;
+        halted = false;
+      }
+    in
+    let s, sends = wakeup g v s in
+    (s, sends)
+
+  (* (4) the test procedure *)
+  let test g v (s : state) =
+    let deg = Graph.degree g v in
+    let m = ref (-1) in
+    for p = 0 to deg - 1 do
+      if s.se.(p) = Basic && (!m < 0 || fname_compare (weight_of g v p) (weight_of g v !m) < 0)
+      then m := p
+    done;
+    (!m, s)
+
+  (* (8) the report procedure *)
+  let report (s : state) =
+    if s.find_count = 0 && s.test_edge = -1 then
+      ( { s with status = Found },
+        if s.in_branch >= 0 then [ (s.in_branch, Report s.best_wt) ] else [] )
+    else (s, [])
+
+  (* (4) continued: launch the next Test, or report if no basic edge is left *)
+  let test g v (s : state) =
+    let m, s = test g v s in
+    if m >= 0 then
+      ({ s with test_edge = m }, [ (m, Test (s.ln, Option.get s.fn)) ])
+    else report { s with test_edge = -1 }
+
+  (* (10) change-root *)
+  let change_root g v (s : state) =
+    ignore g;
+    ignore v;
+    if s.best_edge >= 0 && s.se.(s.best_edge) = Branch then
+      (s, [ (s.best_edge, Change_root) ])
+    else begin
+      let se = Array.copy s.se in
+      if s.best_edge >= 0 then se.(s.best_edge) <- Branch;
+      ({ s with se }, if s.best_edge >= 0 then [ (s.best_edge, Connect s.ln) ] else [])
+    end
+
+  let on_message g v (s : state) ~port msg =
+    let s, wake_sends = if s.status = Sleeping then wakeup g v s else (s, []) in
+    let state, reaction =
+      match msg with
+      | Connect l ->
+          if l < s.ln then begin
+            (* absorb the lower-level fragment *)
+            let se = Array.copy s.se in
+            se.(port) <- Branch;
+            let s = { s with se } in
+            let s, extra =
+              if s.status = Find then ({ s with find_count = s.find_count + 1 }, ())
+              else (s, ())
+            in
+            ignore extra;
+            (s, Mp.send [ (port, Initiate (s.ln, Option.get s.fn, s.status)) ])
+          end
+          else if s.se.(port) = Basic then (s, { Mp.sends = []; defers = [ (port, msg) ] })
+          else
+            (* merge: both fragments chose this edge *)
+            (s, Mp.send [ (port, Initiate (s.ln + 1, weight_of g v port, Find)) ])
+      | Initiate (l, f, st) ->
+          let se = s.se in
+          let s =
+            {
+              s with
+              ln = l;
+              fn = Some f;
+              status = st;
+              in_branch = port;
+              best_edge = -1;
+              best_wt = None;
+            }
+          in
+          let sends = ref [] in
+          let fc = ref s.find_count in
+          if st = Find then fc := 0;
+          Array.iteri
+            (fun p e ->
+              if p <> port && e = Branch then begin
+                sends := (p, Initiate (l, f, st)) :: !sends;
+                if st = Find then incr fc
+              end)
+            se;
+          let s = { s with find_count = !fc } in
+          if st = Find then begin
+            let s, test_sends = test g v s in
+            (s, Mp.send (!sends @ test_sends))
+          end
+          else (s, Mp.send !sends)
+      | Test (l, f) ->
+          if l > s.ln then (s, { Mp.sends = []; defers = [ (port, msg) ] })
+          else if s.fn = None || fname_compare f (Option.get s.fn) <> 0 then
+            (s, Mp.send [ (port, Accept) ])
+          else begin
+            let se = Array.copy s.se in
+            if se.(port) = Basic then se.(port) <- Rejected;
+            let s = { s with se } in
+            if s.test_edge <> port then (s, Mp.send [ (port, Reject) ])
+            else begin
+              let s, test_sends = test g v s in
+              (s, Mp.send test_sends)
+            end
+          end
+      | Accept ->
+          let w = Some (weight_of g v port) in
+          let s = { s with test_edge = -1 } in
+          let s =
+            if lt_opt w s.best_wt then { s with best_edge = port; best_wt = w } else s
+          in
+          let s, sends = report s in
+          (s, Mp.send sends)
+      | Reject ->
+          let se = Array.copy s.se in
+          if se.(port) = Basic then se.(port) <- Rejected;
+          let s, sends = test g v { s with se } in
+          (s, Mp.send sends)
+      | Report w ->
+          if port <> s.in_branch then begin
+            let s = { s with find_count = s.find_count - 1 } in
+            let s =
+              if lt_opt w s.best_wt then { s with best_edge = port; best_wt = w } else s
+            in
+            let s, sends = report s in
+            (s, Mp.send sends)
+          end
+          else if s.status = Find then (s, { Mp.sends = []; defers = [ (port, msg) ] })
+          else if lt_opt s.best_wt w then
+            let s, sends = change_root g v s in
+            (s, Mp.send sends)
+          else if w = None && s.best_wt = None then ({ s with halted = true }, Mp.nothing)
+          else (s, Mp.nothing)
+      | Change_root ->
+          let s, sends = change_root g v s in
+          (s, Mp.send sends)
+    in
+    (state, { reaction with Mp.sends = wake_sends @ reaction.Mp.sends })
+
+  let message_bits = function
+    | Connect l -> 3 + Ssmst_sim.Memory.of_nat l
+    | Initiate (l, f, _) -> 5 + Ssmst_sim.Memory.of_nat l + Ssmst_sim.Memory.of_int f.base
+    | Test (l, f) -> 3 + Ssmst_sim.Memory.of_nat l + Ssmst_sim.Memory.of_int f.base
+    | Accept | Reject | Change_root -> 3
+    | Report _ -> 3 + 32
+
+  let state_bits (s : state) =
+    8
+    + Ssmst_sim.Memory.of_nat s.ln
+    + (2 * Array.length s.se)
+    + Ssmst_sim.Memory.of_int s.in_branch
+    + Ssmst_sim.Memory.of_int s.test_edge
+    + Ssmst_sim.Memory.of_int s.best_edge
+    + Ssmst_sim.Memory.of_nat s.find_count
+end
+
+module Runner = Mp.Emulate (Proto)
+module Net = Ssmst_sim.Network.Make (Runner)
+
+type result = { tree : Tree.t; rounds : int; messages : int }
+
+(* Run GHS to quiescence and extract the Branch forest as a rooted tree. *)
+let run ?(max_rounds = 2_000_000) (g : Graph.t) =
+  if Graph.n g = 1 then
+    { tree = Tree.of_parents g [| -1 |]; rounds = 0; messages = 0 }
+  else begin
+    let net = Net.create g in
+    let quiescent net = Array.for_all Runner.quiescent_node (Net.states net) in
+    let _, reached = Net.run_until net Ssmst_sim.Scheduler.Sync ~max_rounds quiescent in
+    if not reached then raise (Graph.Malformed "ghs_mp: no quiescence");
+    (* the Branch edges of all nodes form the MST; root it at node 0 *)
+    let n = Graph.n g in
+    let adj = Array.make n [] in
+    Array.iteri
+      (fun v (s : Runner.state) ->
+        Array.iteri
+          (fun p e -> if e = Branch then adj.(v) <- Graph.peer_at g v p :: adj.(v))
+          (Runner.inner s).se)
+      (Net.states net);
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    let rec dfs v =
+      seen.(v) <- true;
+      List.iter
+        (fun u ->
+          if not seen.(u) then begin
+            parent.(u) <- v;
+            dfs u
+          end)
+        adj.(v)
+    in
+    dfs 0;
+    if not (Array.for_all Fun.id seen) then raise (Graph.Malformed "ghs_mp: branches do not span");
+    let messages =
+      Array.fold_left (fun acc (s : Runner.state) -> acc + s.Runner.delivered) 0 (Net.states net)
+    in
+    { tree = Tree.of_parents g parent; rounds = Net.rounds net; messages }
+  end

@@ -1,0 +1,1 @@
+lib/pls/kkp_pls.ml: Array Fun Graph Labels List Lower_bound Marker Pieces Ssmst_core Ssmst_graph Ssmst_sim Tree Weight

@@ -1,0 +1,1 @@
+lib/pls/kkp_pls.mli: Lower_bound Marker Pieces Ssmst_core

@@ -1,0 +1,1 @@
+lib/pls/kkp_protocol.ml: Array Graph Kkp_pls List Pieces Random Ssmst_core Ssmst_graph

@@ -1,0 +1,1 @@
+lib/pls/simple_pls.ml: Array Graph List Ssmst_graph Ssmst_sim Tree

@@ -1,0 +1,34 @@
+open Ssmst_core
+
+(** The Korman–Kutten 1-proof labeling scheme for MST ([54, 55]): the
+    baseline this paper improves on.  Detection time exactly 1, memory
+    Θ(log² n) bits per node — every node stores the full piece I(F_j(v))
+    for each of its levels next to the Section 5 strings, so all agreement
+    and minimality checks (C1/C2) are answerable in a single round. *)
+
+type label = {
+  base : Marker.node_label;  (** strings, SP, NumK (part labels unused) *)
+  pieces : Pieces.t option array;  (** [pieces.(j)] = I(F_j(v)) *)
+}
+
+type t = { marker : Marker.t; labels : label array }
+
+val bits : label -> int
+
+val max_bits : t -> int
+
+val mark : Marker.t -> t
+(** The marker: keep all pieces at every node. *)
+
+val check_node : t -> int -> string list
+(** The one-round verifier at a node; names of violated checks. *)
+
+val accepts : t -> bool
+
+val rejecting_nodes : t -> int list
+
+val measure_lower_bound :
+  seed:int -> h:int -> tau:int -> positive:bool -> Lower_bound.datapoint * bool
+(** The KKP side of the Section 9 trade-off experiment: label bits
+    Θ(log² n), detection in one round; the boolean is whether the scheme
+    rejected. *)

@@ -1,0 +1,65 @@
+open Ssmst_graph
+open Ssmst_core
+
+(* The KKP 1-proof labeling scheme as a running network protocol: the
+   checker the paper's Section 1 alternative plugs into the transformer —
+   detection time exactly 1 and detection distance f, at the price of
+   Θ(log² n) bits per node.
+
+   Each activation re-runs the one-round check of {!Kkp_pls} against the
+   neighbours' registers; no working state beyond the alarm latch. *)
+
+type state = { label : Kkp_pls.label; alarm : bool }
+
+module type CONFIG = sig
+  val scheme : Kkp_pls.t
+end
+
+module Make (C : CONFIG) = struct
+  type nonrec state = state
+
+  let init _g v = { label = C.scheme.Kkp_pls.labels.(v); alarm = false }
+
+  (* the one-round check of Kkp_pls.check_node, against live registers *)
+  let check g v (l : Kkp_pls.label) (labels : int -> Kkp_pls.label) =
+    (* reuse the library checker by building a transient scheme view *)
+    let arr =
+      Array.init (Graph.n g) (fun u ->
+          if u = v then l
+          else if Graph.has_edge g v u then labels u
+          else C.scheme.Kkp_pls.labels.(u) (* never read by check_node *))
+    in
+    let t = { Kkp_pls.marker = C.scheme.Kkp_pls.marker; labels = arr } in
+    Kkp_pls.check_node t v = []
+
+  let step g v (s : state) read =
+    let labels u = (read u).label in
+    (* only the node's own neighbourhood is consulted by check_node; the
+       transient array above defaults distant entries to the marker values,
+       which check_node never reads *)
+    let neighbourhood_ok = check g v s.label labels in
+    { s with alarm = s.alarm || not neighbourhood_ok }
+
+  let alarm s = s.alarm
+
+  let bits s = Kkp_pls.bits s.label + 1
+
+  let corrupt st g v (s : state) =
+    let l = s.label in
+    let pieces = Array.copy l.Kkp_pls.pieces in
+    if Array.length pieces > 0 then begin
+      let with_piece =
+        Array.to_list pieces
+        |> List.mapi (fun j p -> (j, p))
+        |> List.filter (fun (_, p) -> p <> None)
+      in
+      match with_piece with
+      | [] -> ()
+      | _ ->
+          let j, _ = List.nth with_piece (Random.State.int st (List.length with_piece)) in
+          pieces.(j) <- Some (Pieces.random st)
+    end;
+    ignore g;
+    ignore v;
+    { label = { l with Kkp_pls.pieces }; alarm = false }
+end

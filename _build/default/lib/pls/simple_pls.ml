@@ -1,0 +1,103 @@
+open Ssmst_graph
+
+(* The warm-up 1-proof labeling schemes of Section 2.6, as standalone
+   schemes: Example SP (a spanning tree), Example NumK (knowing n), and
+   Example EDIAM (an upper bound on a tree's height).  The core verifier
+   embeds equivalent checks; these standalone versions document the
+   building blocks and are property-tested on their own. *)
+
+(* ---------------- Example SP: H(G) is a spanning tree ---------------- *)
+
+module Spanning = struct
+  type label = { root_id : int; dist : int }
+
+  let bits l = Ssmst_sim.Memory.of_int l.root_id + Ssmst_sim.Memory.of_nat l.dist
+
+  let mark (t : Tree.t) =
+    let g = Tree.graph t in
+    Array.init (Graph.n g) (fun v ->
+        { root_id = Graph.id g (Tree.root t); dist = Tree.depth t v })
+
+  (* One-round verification of node [v] against a claimed component
+     array. *)
+  let check (g : Graph.t) (comp : Tree.component) (labels : label array) v =
+    let l = labels.(v) in
+    let ok = ref true in
+    (* root identity agreement with all neighbours *)
+    Array.iter
+      (fun (h : Graph.half_edge) -> if labels.(h.peer).root_id <> l.root_id then ok := false)
+      (Graph.ports g v);
+    if l.dist = 0 then begin
+      if l.root_id <> Graph.id g v then ok := false
+    end
+    else begin
+      match comp.(v) with
+      | None -> ok := false
+      | Some p ->
+          if p >= Graph.degree g v then ok := false
+          else
+            let u = Graph.peer_at g v p in
+            if labels.(u).dist <> l.dist - 1 then ok := false
+    end;
+    !ok
+
+  let accepts g comp labels =
+    let rec go v = v >= Graph.n g || (check g comp labels v && go (v + 1)) in
+    go 0
+end
+
+(* ---------------- Example NumK: every node knows n ---------------- *)
+
+module Size = struct
+  type label = { claimed_n : int; subcount : int }
+
+  let bits l = Ssmst_sim.Memory.of_nat l.claimed_n + Ssmst_sim.Memory.of_nat l.subcount
+
+  let mark (t : Tree.t) =
+    let sizes = Tree.subtree_sizes t in
+    Array.init (Tree.n t) (fun v -> { claimed_n = Tree.n t; subcount = sizes.(v) })
+
+  (* [parent]/[children] come from a previously verified Example SP. *)
+  let check (g : Graph.t) ~parent ~children (labels : label array) v =
+    let l = labels.(v) in
+    let ok = ref true in
+    Array.iter
+      (fun (h : Graph.half_edge) ->
+        if labels.(h.peer).claimed_n <> l.claimed_n then ok := false)
+      (Graph.ports g v);
+    let sub = List.fold_left (fun acc c -> acc + labels.(c).subcount) 1 (children v) in
+    if l.subcount <> sub then ok := false;
+    if parent v = None && l.subcount <> l.claimed_n then ok := false;
+    !ok
+
+  let accepts g ~parent ~children labels =
+    let rec go v = v >= Graph.n g || (check g ~parent ~children labels v && go (v + 1)) in
+    go 0
+end
+
+(* -------- Example EDIAM: a common upper bound on the tree height -------- *)
+
+module Height_bound = struct
+  type label = { bound : int; dist : int }
+
+  let bits l = Ssmst_sim.Memory.of_nat l.bound + Ssmst_sim.Memory.of_nat l.dist
+
+  let mark (t : Tree.t) ~bound =
+    Array.init (Tree.n t) (fun v -> { bound; dist = Tree.depth t v })
+
+  let check (g : Graph.t) ~parent (labels : label array) v =
+    let l = labels.(v) in
+    let ok = ref true in
+    Array.iter
+      (fun (h : Graph.half_edge) -> if labels.(h.peer).bound <> l.bound then ok := false)
+      (Graph.ports g v);
+    (match parent v with
+    | None -> if l.dist <> 0 then ok := false
+    | Some p -> if labels.(p).dist <> l.dist - 1 then ok := false);
+    if l.dist > l.bound then ok := false;
+    !ok
+
+  let accepts g ~parent labels =
+    let rec go v = v >= Graph.n g || (check g ~parent labels v && go (v + 1)) in
+    go 0
+end

@@ -1,0 +1,1 @@
+lib/protocols/dist_wave.ml: Array Graph List Memory Random Ssmst_graph Ssmst_sim

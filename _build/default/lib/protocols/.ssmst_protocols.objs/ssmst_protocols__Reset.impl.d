@@ -1,0 +1,1 @@
+lib/protocols/reset.ml: Array Graph Memory Protocol Random Ss_bfs Ssmst_graph Ssmst_sim

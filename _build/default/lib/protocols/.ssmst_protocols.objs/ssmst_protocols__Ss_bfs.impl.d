@@ -1,0 +1,1 @@
+lib/protocols/ss_bfs.ml: Array Dist Graph Memory Network Random Ssmst_graph Ssmst_sim Tree

@@ -1,0 +1,1 @@
+lib/protocols/synchronizer.ml: Array Graph Memory Protocol Ssmst_graph Ssmst_sim

@@ -1,0 +1,1 @@
+lib/protocols/wave_echo.mli:

@@ -1,0 +1,48 @@
+(* The self-stabilizing data-link emulation of Section 2.2 (after [3]):
+   message passing over a shared-memory link without duplication, using a
+   3-valued "toggle" per direction.
+
+   The sender publishes (value, toggle); the receiver acknowledges by
+   echoing the toggle it last consumed.  A new message is published only
+   after the previous one was acknowledged, with the toggle advanced mod 3,
+   so the receiver consumes each message exactly once even from an arbitrary
+   initial state (after at most one spurious delivery, which is the
+   self-stabilization cost the paper accepts).  Sending therefore costs O(1)
+   ideal time and no extra asymptotic memory. *)
+
+type toggle = T0 | T1 | T2
+
+let next = function T0 -> T1 | T1 -> T2 | T2 -> T0
+let toggle_equal a b = a = b
+
+type 'a sender = { mutable outbox : 'a option; mutable tog : toggle; mutable queue : 'a list }
+type 'a receiver = { mutable ack : toggle; mutable delivered : 'a list }
+
+let sender () = { outbox = None; tog = T0; queue = [] }
+let receiver () = { ack = T0; delivered = [] }
+
+let send s msg = s.queue <- s.queue @ [ msg ]
+
+(* One activation of the sender: it reads the receiver's ack register. *)
+let sender_step s ~receiver_ack =
+  match s.outbox with
+  | Some _ when not (toggle_equal receiver_ack s.tog) -> ()  (* still in flight *)
+  | _ -> (
+      match s.queue with
+      | [] -> s.outbox <- None
+      | m :: rest ->
+          s.queue <- rest;
+          s.tog <- next s.tog;
+          s.outbox <- Some m)
+
+(* One activation of the receiver: it reads the sender's (outbox, toggle). *)
+let receiver_step r ~sender_outbox ~sender_toggle =
+  match sender_outbox with
+  | Some m when not (toggle_equal r.ack sender_toggle) ->
+      r.delivered <- r.delivered @ [ m ];
+      r.ack <- sender_toggle
+  | Some _ | None -> ()
+
+let delivered r = r.delivered
+
+let memory_bits = 2 (* one toggle: 3 values *)

@@ -1,0 +1,35 @@
+(** The self-stabilizing data-link emulation of Section 2.2 (after [3]):
+    exactly-once message passing over a shared-memory link, using a 3-valued
+    toggle per direction.  After at most one spurious delivery from an
+    arbitrary initial state, every message is consumed exactly once; a send
+    costs O(1) ideal time and 2 bits of extra memory per direction. *)
+
+type toggle = T0 | T1 | T2
+
+val next : toggle -> toggle
+val toggle_equal : toggle -> toggle -> bool
+
+type 'a sender = {
+  mutable outbox : 'a option;  (** the register the receiver reads *)
+  mutable tog : toggle;
+  mutable queue : 'a list;
+}
+
+type 'a receiver = { mutable ack : toggle; mutable delivered : 'a list }
+
+val sender : unit -> 'a sender
+val receiver : unit -> 'a receiver
+
+val send : 'a sender -> 'a -> unit
+(** Enqueue a message for transmission. *)
+
+val sender_step : 'a sender -> receiver_ack:toggle -> unit
+(** One activation of the sender: publish the next message once the
+    previous one is acknowledged. *)
+
+val receiver_step : 'a receiver -> sender_outbox:'a option -> sender_toggle:toggle -> unit
+(** One activation of the receiver: consume the outbox if the toggle moved. *)
+
+val delivered : 'a receiver -> 'a list
+
+val memory_bits : int

@@ -1,0 +1,58 @@
+open Ssmst_graph
+open Ssmst_sim
+
+(* The alpha synchronizer (Awerbuch), the component Section 10 uses to run
+   the synchronous SYNC_MST under an asynchronous daemon.
+
+   Each node keeps a pulse counter and two state buffers.  It advances from
+   pulse p to p+1 only when every neighbour's pulse is >= p, computing the
+   wrapped protocol's synchronous round p against each neighbour's
+   pulse-p snapshot: the current buffer of a neighbour still at pulse p, or
+   the previous buffer of a neighbour already at p+1 (neighbouring pulses
+   never differ by more than one).  The wrapped protocol therefore observes
+   exactly the synchronous execution, at a constant time overhead — each
+   asynchronous round advances every pulse at least once under a fair
+   daemon.
+
+   Pulse counters are kept as plain integers here; bounding them mod a
+   small constant (as the self-stabilizing variants of [10, 11] do, paired
+   with a reset) only changes the comparison to a windowed one. *)
+
+module Make (P : Protocol.S) = struct
+  type state = {
+    pulse : int;
+    cur : P.state;  (* state at [pulse] *)
+    prev : P.state;  (* state at [pulse - 1] *)
+  }
+
+  let init g v =
+    let s = P.init g v in
+    { pulse = 0; cur = s; prev = s }
+
+  let step g v (s : state) read =
+    let ready =
+      Array.for_all (fun (h : Graph.half_edge) -> (read h.peer).pulse >= s.pulse) (Graph.ports g v)
+    in
+    if not ready then s
+    else begin
+      (* neighbours are at pulse or pulse+1; select their pulse-[s.pulse]
+         snapshot *)
+      let snapshot u =
+        let su = read u in
+        if su.pulse = s.pulse then su.cur
+        else if su.pulse = s.pulse + 1 then su.prev
+        else (* > pulse + 1 cannot happen under the advance rule *) su.prev
+      in
+      let next = P.step g v s.cur snapshot in
+      { pulse = s.pulse + 1; cur = next; prev = s.cur }
+    end
+
+  let alarm s = P.alarm s.cur
+
+  let bits s = Memory.of_nat s.pulse + P.bits s.cur + P.bits s.prev
+
+  let corrupt st g v s = { s with cur = P.corrupt st g v s.cur }
+
+  let pulse s = s.pulse
+  let current s = s.cur
+end

@@ -1,0 +1,1 @@
+lib/simulator/memory.ml: Array List

@@ -1,0 +1,1 @@
+lib/simulator/network.ml: Array Dist Graph Hashtbl List Protocol Random Scheduler Ssmst_graph

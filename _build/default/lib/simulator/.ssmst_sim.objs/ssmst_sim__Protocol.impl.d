@@ -1,0 +1,1 @@
+lib/simulator/protocol.ml: Graph Random Ssmst_graph

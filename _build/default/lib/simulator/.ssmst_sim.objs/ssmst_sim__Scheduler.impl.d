@@ -1,0 +1,1 @@
+lib/simulator/scheduler.ml: Array Fun List Random

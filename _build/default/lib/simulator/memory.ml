@@ -1,0 +1,25 @@
+(* Bit accounting for per-node state.  The paper's memory-size measure
+   (Section 2.4) counts the bits stored at a node: identity, marker label and
+   verifier working memory.  Protocols report their state size through these
+   helpers so experiments compare real bit counts rather than word counts. *)
+
+(* Bits to represent a non-negative integer value (at least 1 bit). *)
+let of_nat x =
+  if x <= 0 then 1
+  else
+    let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+    go 0 x
+
+(* Bits for an integer that may be negative (sign bit). *)
+let of_int x = 1 + of_nat (abs x)
+
+let of_bool = 1
+
+let of_option f = function None -> 1 | Some x -> 1 + f x
+
+let of_list f l = of_nat (List.length l) + List.fold_left (fun acc x -> acc + f x) 0 l
+
+let of_array f a = of_nat (Array.length a) + Array.fold_left (fun acc x -> acc + f x) 0 a
+
+(* A string over a small alphabet, [card] symbols per position. *)
+let of_symbol_string ~card ~len = len * of_nat (card - 1)

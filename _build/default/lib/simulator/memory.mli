@@ -1,0 +1,20 @@
+(** Bit accounting for per-node state (the paper's memory-size measure,
+    Section 2.4).  Protocols report their register sizes through these
+    helpers so experiments compare genuine bit counts. *)
+
+val of_nat : int -> int
+(** Bits of a non-negative integer (at least 1). *)
+
+val of_int : int -> int
+(** Bits of a possibly-negative integer (sign bit included). *)
+
+val of_bool : int
+
+val of_option : ('a -> int) -> 'a option -> int
+
+val of_list : ('a -> int) -> 'a list -> int
+
+val of_array : ('a -> int) -> 'a array -> int
+
+val of_symbol_string : card:int -> len:int -> int
+(** A string of [len] symbols over a [card]-sized alphabet. *)

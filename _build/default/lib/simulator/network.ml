@@ -1,0 +1,120 @@
+open Ssmst_graph
+
+(* Executing a protocol over a graph under a daemon, with round counting,
+   alarm observation, fault injection and memory accounting. *)
+
+module Make (P : Protocol.S) = struct
+  type t = {
+    graph : Graph.t;
+    mutable states : P.state array;
+    mutable rounds : int;  (* ideal time elapsed *)
+    mutable peak_bits : int;
+  }
+
+  let create graph =
+    let states = Array.init (Graph.n graph) (P.init graph) in
+    { graph; states; rounds = 0; peak_bits = 0 }
+
+  let graph t = t.graph
+  let state t v = t.states.(v)
+  let states t = t.states
+  let set_state t v s = t.states.(v) <- s
+  let rounds t = t.rounds
+
+  let record_memory t =
+    Array.iter (fun s -> if P.bits s > t.peak_bits then t.peak_bits <- P.bits s) t.states
+
+  let peak_bits t =
+    record_memory t;
+    t.peak_bits
+
+  (* One synchronous round: all nodes step on a snapshot. *)
+  let sync_round t =
+    let snapshot = t.states in
+    let read v u =
+      if not (Graph.has_edge t.graph v u) then
+        invalid_arg "Network.step: reading a non-neighbour"
+      else snapshot.(u)
+    in
+    t.states <- Array.mapi (fun v s -> P.step t.graph v s (read v)) snapshot;
+    t.rounds <- t.rounds + 1;
+    record_memory t
+
+  (* One asynchronous round under a fair daemon: nodes fire sequentially per
+     the daemon's schedule and read fresh registers. *)
+  let async_round t daemon =
+    let schedule = Scheduler.round_schedule daemon (Graph.n t.graph) in
+    List.iter
+      (fun v ->
+        let read u =
+          if not (Graph.has_edge t.graph v u) then
+            invalid_arg "Network.step: reading a non-neighbour"
+          else t.states.(u)
+        in
+        t.states.(v) <- P.step t.graph v t.states.(v) (read))
+      schedule;
+    t.rounds <- t.rounds + 1;
+    record_memory t
+
+  let round t daemon = if Scheduler.is_sync daemon then sync_round t else async_round t daemon
+
+  let run t daemon ~rounds =
+    for _ = 1 to rounds do
+      round t daemon
+    done
+
+  let any_alarm t = Array.exists P.alarm t.states
+
+  let alarming_nodes t =
+    let acc = ref [] in
+    Array.iteri (fun v s -> if P.alarm s then acc := v :: !acc) t.states;
+    !acc
+
+  (* Run until [stop] holds or [max_rounds] elapse; returns the number of
+     rounds executed and whether [stop] was reached. *)
+  let run_until t daemon ~max_rounds stop =
+    let executed = ref 0 and reached = ref (stop t) in
+    while (not !reached) && !executed < max_rounds do
+      round t daemon;
+      incr executed;
+      reached := stop t
+    done;
+    (!executed, !reached)
+
+  (* Rounds until the first alarm, or [None] if none within [max_rounds]. *)
+  let detection_time t daemon ~max_rounds =
+    let executed, reached = run_until t daemon ~max_rounds any_alarm in
+    if reached then Some executed else None
+
+  (* Corrupt [count] distinct random nodes; returns the list of faulty
+     nodes. *)
+  let inject_faults t st ~count =
+    let n = Graph.n t.graph in
+    let chosen = Hashtbl.create count in
+    while Hashtbl.length chosen < min count n do
+      Hashtbl.replace chosen (Random.State.int st n) ()
+    done;
+    Hashtbl.fold
+      (fun v () acc ->
+        t.states.(v) <- P.corrupt st t.graph v t.states.(v);
+        v :: acc)
+      chosen []
+
+  (* Max hop distance from any fault to the closest alarming node: the
+     paper's detection distance (Section 2.4). *)
+  let detection_distance t ~faults =
+    let alarms = alarming_nodes t in
+    match alarms with
+    | [] -> None
+    | _ ->
+        let worst = ref 0 in
+        List.iter
+          (fun f ->
+            let d = Dist.bfs t.graph f in
+            let closest =
+              List.fold_left (fun acc a -> min acc (if d.(a) < 0 then max_int else d.(a))) max_int alarms
+            in
+            if closest > !worst then worst := closest)
+          faults;
+        Some !worst
+end

@@ -1,0 +1,36 @@
+open Ssmst_graph
+
+(* The protocol interface for the shared-memory network simulator.
+
+   The model is the paper's (Sections 2.1-2.2): every node owns one register
+   holding its whole state; in one *ideal time* unit an activated node reads
+   the registers of all its neighbours and rewrites its own register.  A
+   synchronous network activates everybody simultaneously; an asynchronous
+   one is driven by a strongly fair daemon (see {!Scheduler}). *)
+
+module type S = sig
+  type state
+
+  val init : Graph.t -> int -> state
+  (** [init g v] is the clean initial state of node [v].  Self-stabilizing
+      protocols must also tolerate arbitrary states (see [corrupt]). *)
+
+  val step : Graph.t -> int -> state -> (int -> state) -> state
+  (** [step g v own read] is one atomic activation of node [v]: [read u]
+      returns the current register of the neighbour with node index [u]
+      (only neighbours of [v] may be read).  Returns the new register. *)
+
+  val alarm : state -> bool
+  (** Whether the node is currently raising an alarm ("outputting no"). *)
+
+  val bits : state -> int
+  (** Serialized size of the register in bits, via {!Memory}. *)
+
+  val corrupt : Random.State.t -> Graph.t -> int -> state -> state
+  (** Adversarial fault: an arbitrary perturbation of the register used by
+      fault-injection experiments.  Must return a type-correct state but is
+      free to break every semantic invariant. *)
+end
+
+(* Convenience alias used throughout. *)
+type 'a reader = int -> 'a

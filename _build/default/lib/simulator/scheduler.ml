@@ -1,0 +1,44 @@
+(* Daemons for the simulator.
+
+   - [Sync]: the synchronous network — every round, all nodes are activated
+     simultaneously on a snapshot of the registers.
+   - [Async_random st]: a randomized, strongly fair distributed daemon.  A
+     round is the minimal interval in which every node was activated at
+     least once (the standard asynchronous round measure); within a round
+     nodes fire one at a time and read *fresh* registers.
+   - [Async_adversarial st]: a daemon that additionally interleaves extra
+     activations of random nodes between the mandatory ones (bounded by a
+     factor), exercising worse interleavings while remaining fair. *)
+
+type t =
+  | Sync
+  | Async_random of Random.State.t
+  | Async_adversarial of Random.State.t
+
+let is_sync = function Sync -> true | Async_random _ | Async_adversarial _ -> false
+
+(* A fair permutation plus optional noise: the activation sequence for one
+   asynchronous round. *)
+let round_schedule t n =
+  match t with
+  | Sync -> invalid_arg "Scheduler.round_schedule: sync daemon"
+  | Async_random st | Async_adversarial st ->
+      let base = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let tmp = base.(i) in
+        base.(i) <- base.(j);
+        base.(j) <- tmp
+      done;
+      let noisy =
+        match t with
+        | Async_adversarial st ->
+            (* up to two extra activations of arbitrary nodes after each
+               mandatory one: an unfair-looking but fair schedule *)
+            Array.to_list base
+            |> List.concat_map (fun v ->
+                   let extras = Random.State.int st 3 in
+                   v :: List.init extras (fun _ -> Random.State.int st n))
+        | Sync | Async_random _ -> Array.to_list base
+      in
+      noisy

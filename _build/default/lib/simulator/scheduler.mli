@@ -1,0 +1,18 @@
+(** Daemons (Section 2.1): the synchronous network and strongly fair
+    asynchronous schedulers. *)
+
+type t =
+  | Sync
+      (** every round, all nodes step simultaneously on a register snapshot *)
+  | Async_random of Random.State.t
+      (** a fair randomized daemon: each asynchronous round activates every
+          node once, in random order, on fresh registers *)
+  | Async_adversarial of Random.State.t
+      (** fair but nastier: extra interleaved activations of random nodes *)
+
+val is_sync : t -> bool
+
+val round_schedule : t -> int -> int list
+(** The activation sequence of one asynchronous round over [n] nodes; every
+    node appears at least once (strong fairness).
+    @raise Invalid_argument on [Sync]. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Blin Fmt Gen Ghs Graph Higham_liang List Mst QCheck QCheck_alcotest Ssmst_baselines Ssmst_core Ssmst_graph Ssmst_sim Tree

@@ -1,0 +1,1 @@
+test/test_detection_matrix.ml: Alcotest Array Fragment Gen Graph Labels List Marker Network Partition Pieces Scheduler Ssmst_core Ssmst_graph Ssmst_sim Verifier Weight

@@ -1,0 +1,1 @@
+test/test_dist_wave.ml: Alcotest Array Dist_wave Fmt Gen Graph Mst Network Scheduler Ssmst_graph Ssmst_protocols Ssmst_sim Tree Wave_echo

@@ -1,0 +1,1 @@
+test/test_fig1.ml: Alcotest Array Char Fmt Fragment Graph Labels List Marker Mst Ssmst_core Ssmst_graph Ssmst_sim String Tree Verifier

@@ -1,0 +1,1 @@
+test/test_forge.ml: Alcotest Array Fmt Fragment Fun Gen Graph Labels List Marker Mst Network Partition QCheck QCheck_alcotest Scheduler Ssmst_core Ssmst_graph Ssmst_sim Tree Verifier

@@ -1,0 +1,1 @@
+test/test_fragment.ml: Alcotest Array Fragment Graph Option Ssmst_core Ssmst_graph Tree

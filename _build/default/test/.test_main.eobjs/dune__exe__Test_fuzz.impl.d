@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Dsu Gen Graph List Marker Memory Mst Network QCheck QCheck_alcotest Random Scheduler Ssmst_core Ssmst_graph Ssmst_sim Tree Verifier

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Gen Graph List Mst QCheck QCheck_alcotest Ssmst_graph Tree

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Gen Graph List QCheck QCheck_alcotest Ssmst_graph Weight

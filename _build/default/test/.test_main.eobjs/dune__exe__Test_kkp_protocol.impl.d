@@ -1,0 +1,1 @@
+test/test_kkp_protocol.ml: Alcotest Fmt Gen Kkp_pls Kkp_protocol List Marker Memory Network Protocol Scheduler Ssmst_core Ssmst_graph Ssmst_pls Ssmst_sim

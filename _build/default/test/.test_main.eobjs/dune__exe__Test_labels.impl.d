@@ -1,0 +1,1 @@
+test/test_labels.ml: Alcotest Array Fragment Gen Graph Labels List QCheck QCheck_alcotest Random Ssmst_core Ssmst_graph String Sync_mst Tree

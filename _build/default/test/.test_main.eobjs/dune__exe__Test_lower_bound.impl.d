@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Kkp_pls List Lower_bound Ssmst_core Ssmst_pls

@@ -1,0 +1,1 @@
+test/test_mp.ml: Alcotest Array Fmt Gen Ghs_mp Graph List Mp Mst QCheck QCheck_alcotest Ssmst_graph Ssmst_mp Ssmst_sim

@@ -1,0 +1,1 @@
+test/test_mst.ml: Alcotest Array Fun Gen Graph List Mst QCheck QCheck_alcotest Random Ssmst_graph Tree

@@ -1,0 +1,1 @@
+test/test_multi_wave.ml: Alcotest Array Fmt Fragment Gen List Multi_wave Ssmst_core Ssmst_graph Sync_mst

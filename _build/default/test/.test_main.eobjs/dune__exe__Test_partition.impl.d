@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Fmt Fragment Gen Graph Int List Partition Pieces QCheck QCheck_alcotest Ssmst_core Ssmst_graph Sync_mst

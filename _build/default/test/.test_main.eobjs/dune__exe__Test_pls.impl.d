@@ -1,0 +1,1 @@
+test/test_pls.ml: Alcotest Array Fmt Gen Graph Kkp_pls List Marker Mst Pieces QCheck QCheck_alcotest Simple_pls Ssmst_core Ssmst_graph Ssmst_pls Tree Weight

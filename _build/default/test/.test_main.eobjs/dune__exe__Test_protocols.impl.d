@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Datalink Gen Graph Int List QCheck QCheck_alcotest Ss_bfs Ssmst_graph Ssmst_protocols Ssmst_sim Tree Wave_echo

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Gen Graph List Memory Network Random Scheduler Ssmst_graph Ssmst_sim

@@ -1,0 +1,1 @@
+test/test_sync_mst.ml: Alcotest Array Fragment Gen Graph List Mst QCheck QCheck_alcotest Ssmst_core Ssmst_graph Ssmst_sim Sync_mst

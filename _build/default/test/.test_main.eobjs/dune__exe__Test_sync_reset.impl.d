@@ -1,0 +1,1 @@
+test/test_sync_reset.ml: Alcotest Array Fmt Gen Graph Memory Network Reset Scheduler Ssmst_graph Ssmst_protocols Ssmst_sim Synchronizer

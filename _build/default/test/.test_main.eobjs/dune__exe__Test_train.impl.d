@@ -1,0 +1,1 @@
+test/test_train.ml: Alcotest Array Fmt Fragment Gen Graph Hashtbl Labels List Marker Partition Pieces Ssmst_core Ssmst_graph Train Tree

@@ -1,0 +1,1 @@
+test/test_transformer.ml: Alcotest Fmt Gen Graph List Mst Ssmst_core Ssmst_graph Ssmst_sim Transformer Verifier

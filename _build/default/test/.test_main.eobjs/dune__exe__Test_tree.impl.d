@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Gen Graph List Mst QCheck QCheck_alcotest Ssmst_graph Tree

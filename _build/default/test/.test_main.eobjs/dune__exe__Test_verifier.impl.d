@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Array Fmt Gen Graph List Marker Memory Mst Network Protocol QCheck QCheck_alcotest Scheduler Ssmst_core Ssmst_graph Ssmst_sim Tree Verifier

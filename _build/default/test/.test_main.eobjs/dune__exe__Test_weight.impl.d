@@ -1,0 +1,1 @@
+test/test_weight.ml: Alcotest QCheck QCheck_alcotest Ssmst_graph Weight

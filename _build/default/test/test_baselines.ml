@@ -1,0 +1,123 @@
+open Ssmst_graph
+open Ssmst_baselines
+
+let random_graph seed n =
+  let st = Gen.rng seed in
+  Gen.random_connected st n
+
+(* ---------------- GHS ---------------- *)
+
+let test_ghs_correct () =
+  List.iter
+    (fun n ->
+      let g = random_graph (1600 + n) n in
+      let r = Ghs.run g in
+      Alcotest.(check bool) (Fmt.str "ghs MST n=%d" n) true
+        (Mst.is_mst g (Graph.plain_weight_fn g) r.Ghs.tree))
+    [ 2; 3; 8; 20; 50 ]
+
+let test_ghs_levels_logarithmic () =
+  let g = random_graph 1601 64 in
+  let r = Ghs.run g in
+  Alcotest.(check bool) "levels <= log n + 1" true (r.Ghs.levels <= 7)
+
+(* ---------------- Higham-Liang style ---------------- *)
+
+let test_hl_correct () =
+  List.iter
+    (fun n ->
+      let g = random_graph (1700 + n) n in
+      let r = Higham_liang.run g in
+      Alcotest.(check bool) (Fmt.str "hl MST n=%d" n) true
+        (Mst.is_mst g (Graph.plain_weight_fn g) r.Higham_liang.tree))
+    [ 2; 3; 8; 20; 50 ]
+
+let test_hl_self_stabilizes_from_bad_tree () =
+  let g = random_graph 1701 24 in
+  (* adversarial initial tree: the maximum spanning tree *)
+  let flipped =
+    Graph.of_edges ~n:24 (List.map (fun (u, v, w) -> (u, v, 1_000_000 - w)) (Graph.edges g))
+  in
+  let bad = Mst.prim flipped (Graph.plain_weight_fn flipped) in
+  let bad_on_g =
+    Tree.of_parents g
+      (Array.init 24 (fun v -> match Tree.parent bad v with None -> -1 | Some p -> p))
+  in
+  let r = Higham_liang.run ~initial:bad_on_g g in
+  Alcotest.(check bool) "converges to the MST" true
+    (Mst.is_mst g (Graph.plain_weight_fn g) r.Higham_liang.tree);
+  Alcotest.(check bool) "performed swaps" true (r.Higham_liang.swaps > 0)
+
+let test_hl_time_shape () =
+  (* Θ(n·m): rounds / (n·m) should stay bounded while rounds / n diverges *)
+  let measure n =
+    let g = random_graph (1702 + n) n in
+    let r = Higham_liang.run g in
+    let m = Graph.num_edges g in
+    (float_of_int r.Higham_liang.rounds /. float_of_int (n * m),
+     float_of_int r.Higham_liang.rounds /. float_of_int n)
+  in
+  let nm64, _ = measure 64 in
+  let nm256, per_n256 = measure 256 in
+  let _, per_n64 = measure 64 in
+  Alcotest.(check bool) "rounds/(n*m) bounded" true (nm256 <= 4. *. nm64 +. 1.);
+  Alcotest.(check bool) "super-linear in n" true (per_n256 > per_n64)
+
+(* ---------------- Blin et al. style ---------------- *)
+
+let test_blin_correct () =
+  List.iter
+    (fun n ->
+      let g = random_graph (1800 + n) n in
+      let r = Blin.run g in
+      Alcotest.(check bool) (Fmt.str "blin MST n=%d" n) true
+        (Mst.is_mst g (Graph.plain_weight_fn g) r.Blin.tree))
+    [ 2; 3; 8; 20; 50 ]
+
+let test_blin_quadratic_shape () =
+  let measure n =
+    let g = random_graph (1801 + n) n in
+    let r = Blin.run g in
+    float_of_int r.Blin.rounds /. float_of_int (n * n)
+  in
+  let q64 = measure 64 and q256 = measure 256 in
+  Alcotest.(check bool) "rounds/n^2 bounded" true (q256 <= 3. *. q64 +. 1.)
+
+let test_blin_memory_shape () =
+  (* Θ(log² n) label memory: ratio to log n grows *)
+  let measure n =
+    let g = random_graph (1802 + n) n in
+    let r = Blin.run g in
+    float_of_int r.Blin.memory_bits /. float_of_int (Ssmst_sim.Memory.of_nat n)
+  in
+  Alcotest.(check bool) "memory/log n grows" true (measure 256 > measure 16)
+
+let qcheck_baselines_agree =
+  QCheck.Test.make ~name:"all constructions compute the same MST" ~count:25
+    QCheck.(pair (int_range 2 36) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let g = Gen.random_connected st n in
+      let reference = List.sort compare (Mst.kruskal g (Graph.plain_weight_fn g)) in
+      let trees =
+        [
+          (Ghs.run g).Ghs.tree;
+          (Higham_liang.run g).Higham_liang.tree;
+          (Blin.run g).Blin.tree;
+          (Ssmst_core.Sync_mst.run g).Ssmst_core.Sync_mst.tree;
+        ]
+      in
+      List.for_all (fun t -> List.sort compare (Mst.edge_set_of_tree t) = reference) trees)
+
+let suite =
+  [
+    Alcotest.test_case "GHS computes the MST" `Quick test_ghs_correct;
+    Alcotest.test_case "GHS level count" `Quick test_ghs_levels_logarithmic;
+    Alcotest.test_case "HL computes the MST" `Quick test_hl_correct;
+    Alcotest.test_case "HL stabilizes from an adversarial tree" `Quick test_hl_self_stabilizes_from_bad_tree;
+    Alcotest.test_case "HL time is Θ(n·m)" `Slow test_hl_time_shape;
+    Alcotest.test_case "Blin computes the MST" `Quick test_blin_correct;
+    Alcotest.test_case "Blin time is Θ(n²)" `Slow test_blin_quadratic_shape;
+    Alcotest.test_case "Blin memory is Θ(log² n)" `Slow test_blin_memory_shape;
+    QCheck_alcotest.to_alcotest qcheck_baselines_agree;
+  ]

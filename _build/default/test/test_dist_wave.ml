@@ -1,0 +1,107 @@
+open Ssmst_graph
+open Ssmst_sim
+open Ssmst_protocols
+
+(* Register-level Wave&Echo (the Section 4.2 shared-memory implementation)
+   validated against the functional Wave_echo cost model. *)
+
+let tree_setup seed n =
+  let st = Gen.rng seed in
+  let g = Gen.random_connected st n in
+  let t = Mst.prim g (Graph.plain_weight_fn g) in
+  let parent = Array.init n (fun v -> match Tree.parent t v with None -> -1 | Some p -> p) in
+  (g, t, parent)
+
+let run_wave (g : Graph.t) parent daemon ~value ~combine ~max_rounds =
+  let module W = Dist_wave.Make (struct
+    let parent = parent
+    let value = value
+    let combine = combine
+  end) in
+  let module Net = Network.Make (W) in
+  let net = Net.create g in
+  let root = ref (-1) in
+  Array.iteri (fun v p -> if p < 0 then root := v) parent;
+  let root = !root in
+  let _, reached =
+    Net.run_until net daemon ~max_rounds (fun net ->
+        (Net.state net root).Dist_wave.result <> None)
+  in
+  ((if reached then (Net.state net root).Dist_wave.result else None), Net.rounds net)
+
+let test_count_matches_functional () =
+  let g, t, parent = tree_setup 3200 40 in
+  let expected = (Wave_echo.count ~children:(Tree.children t) (Tree.root t)).Wave_echo.value in
+  let result, rounds =
+    run_wave g parent Scheduler.Sync ~value:(fun _ -> 1) ~combine:( + ) ~max_rounds:500
+  in
+  Alcotest.(check (option int)) "count = n" (Some expected) result;
+  (* completed within c * height rounds *)
+  Alcotest.(check bool)
+    (Fmt.str "%d rounds vs height %d" rounds (Tree.height t))
+    true
+    (rounds <= 4 * (Tree.height t + 2))
+
+let test_sum_and_max () =
+  let g, _, parent = tree_setup 3201 24 in
+  let result, _ =
+    run_wave g parent Scheduler.Sync ~value:(fun v -> v) ~combine:( + ) ~max_rounds:500
+  in
+  Alcotest.(check (option int)) "sum of indices" (Some (24 * 23 / 2)) result;
+  let result, _ =
+    run_wave g parent Scheduler.Sync ~value:(fun v -> v) ~combine:max ~max_rounds:500
+  in
+  Alcotest.(check (option int)) "max index" (Some 23) result
+
+let test_async_wave () =
+  let g, _, parent = tree_setup 3202 30 in
+  let result, _ =
+    run_wave g parent
+      (Scheduler.Async_adversarial (Gen.rng 3203))
+      ~value:(fun _ -> 1) ~combine:( + ) ~max_rounds:2000
+  in
+  Alcotest.(check (option int)) "async count" (Some 30) result
+
+let test_repeated_waves () =
+  (* the root keeps launching waves: results stay correct across cycles *)
+  let g, _, parent = tree_setup 3204 20 in
+  let module W = Dist_wave.Make (struct
+    let parent = parent
+    let value = fun _ -> 1
+    let combine = ( + )
+  end) in
+  let module Net = Network.Make (W) in
+  let net = Net.create g in
+  let root = ref (-1) in
+  Array.iteri (fun v p -> if p < 0 then root := v) parent;
+  Net.run net Scheduler.Sync ~rounds:600;
+  let s = Net.state net !root in
+  Alcotest.(check (option int)) "latest result" (Some 20) s.Dist_wave.result;
+  Alcotest.(check bool) "several waves completed" true (s.Dist_wave.seq > 3)
+
+let test_recovers_from_corruption () =
+  let g, _, parent = tree_setup 3205 20 in
+  let module W = Dist_wave.Make (struct
+    let parent = parent
+    let value = fun _ -> 1
+    let combine = ( + )
+  end) in
+  let module Net = Network.Make (W) in
+  let net = Net.create g in
+  Net.run net Scheduler.Sync ~rounds:100;
+  ignore (Net.inject_faults net (Gen.rng 3206) ~count:6);
+  (* corrupt sequence numbers / echoes are flushed by later waves *)
+  Net.run net Scheduler.Sync ~rounds:600;
+  let root = ref (-1) in
+  Array.iteri (fun v p -> if p < 0 then root := v) parent;
+  Alcotest.(check (option int)) "correct result after corruption" (Some 20)
+    (Net.state net !root).Dist_wave.result
+
+let suite =
+  [
+    Alcotest.test_case "count = functional model" `Quick test_count_matches_functional;
+    Alcotest.test_case "sum and max commands" `Quick test_sum_and_max;
+    Alcotest.test_case "asynchronous wave" `Quick test_async_wave;
+    Alcotest.test_case "repeated waves" `Quick test_repeated_waves;
+    Alcotest.test_case "recovers from corruption" `Quick test_recovers_from_corruption;
+  ]

@@ -1,0 +1,79 @@
+open Ssmst_graph
+open Ssmst_core
+
+(* The fixed 18-node Figure 1 / Table 2 example (see bench/main.ml and
+   EXPERIMENTS.md).  Locks in the exact Roots table — which reproduces the
+   paper's Table 2 row for row — so regressions in SYNC_MST's merge order
+   or the marker's string derivation are caught immediately. *)
+
+let fig1_graph () =
+  let edges =
+    [
+      (0, 1, 2); (5, 6, 6); (1, 6, 18); (2, 6, 12); (3, 7, 10); (4, 8, 15);
+      (7, 8, 11); (2, 7, 20); (9, 10, 4); (14, 15, 8); (10, 15, 16);
+      (11, 16, 3); (12, 17, 7); (12, 13, 14); (11, 12, 17); (10, 11, 21);
+      (6, 11, 22);
+    ]
+  in
+  Graph.of_edges ~n:18 edges
+
+(* the paper's Table 2 Roots column, nodes a..r *)
+let paper_roots =
+  [|
+    "10000"; "11000"; "10000"; "1*000"; "1*000"; "10000"; "11110"; "1*100";
+    "1*000"; "10000"; "11100"; "11111"; "11000"; "10000"; "10000"; "11000";
+    "10000"; "10000";
+  |]
+
+let roots_string (l : Labels.t) =
+  String.concat ""
+    (Array.to_list (Array.map (fun s -> Fmt.str "%a" Labels.pp_rsym s) l.Labels.roots))
+
+let test_roots_table_matches_paper () =
+  let m = Marker.run (fig1_graph ()) in
+  let labels = Labels.of_hierarchy m.hierarchy in
+  Alcotest.(check int) "height 4" 4 m.hierarchy.Fragment.height;
+  Array.iteri
+    (fun v expected ->
+      Alcotest.(check string)
+        (Fmt.str "Roots(%c)" (Char.chr (Char.code 'a' + v)))
+        expected (roots_string labels.(v)))
+    paper_roots
+
+let test_example_is_verified () =
+  let g = fig1_graph () in
+  let m = Marker.run g in
+  Alcotest.(check bool) "the tree is the MST" true
+    (Mst.is_mst g (Graph.plain_weight_fn g) m.tree);
+  let module C = struct
+    let marker = m
+    let mode = Verifier.Passive
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Ssmst_sim.Network.Make (P) in
+  let net = Net.create g in
+  Net.run net Ssmst_sim.Scheduler.Sync ~rounds:2000;
+  Alcotest.(check bool) "verifier accepts" false (Net.any_alarm net)
+
+(* structural highlights Table 2 exhibits: node l is the global root, g has
+   the longest root chain among internal nodes, d/e/h/i skip level 1 *)
+let test_table2_highlights () =
+  let m = Marker.run (fig1_graph ()) in
+  let labels = Labels.of_hierarchy m.hierarchy in
+  Alcotest.(check int) "l is the root of T" 11 (Tree.root m.tree);
+  Alcotest.(check bool) "l roots every level" true
+    (Array.for_all (( = ) Labels.R1) labels.(11).Labels.roots);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Fmt.str "node %d skips level 1" v)
+        true
+        (labels.(v).Labels.roots.(1) = Labels.RStar))
+    [ 3; 4; 7; 8 ]
+
+let suite =
+  [
+    Alcotest.test_case "Roots table = paper's Table 2" `Quick test_roots_table_matches_paper;
+    Alcotest.test_case "example instance verifies" `Quick test_example_is_verified;
+    Alcotest.test_case "Table 2 structural highlights" `Quick test_table2_highlights;
+  ]

@@ -1,0 +1,102 @@
+open Ssmst_graph
+open Ssmst_core
+
+(* Hand-built hierarchy on a 4-node path 0-1-2-3, weights 1,2,3:
+   singletons merge pairwise {0,1} and {2,3}, then the whole tree. *)
+let setup () =
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1); (1, 2, 3); (2, 3, 2) ] in
+  let t = Tree.of_parents g [| -1; 0; 1; 2 |] in
+  let records =
+    [
+      (0, 0, [ 0 ], Some (0, 1));
+      (0, 1, [ 1 ], Some (1, 0));
+      (0, 2, [ 2 ], Some (2, 3));
+      (0, 3, [ 3 ], Some (3, 2));
+      (1, 0, [ 0; 1 ], Some (1, 2));
+      (1, 2, [ 2; 3 ], Some (2, 1));
+      (2, 0, [ 0; 1; 2; 3 ], None);
+    ]
+  in
+  (g, t, Fragment.build t records)
+
+let test_build () =
+  let _, _, h = setup () in
+  Alcotest.(check int) "seven fragments" 7 (Array.length h.frags);
+  Alcotest.(check int) "height" 2 h.height;
+  Alcotest.(check int) "whole has 4 members" 4 (Fragment.size h.frags.(h.whole))
+
+let test_at_and_levels () =
+  let _, _, h = setup () in
+  (match Fragment.at h 2 1 with
+  | Some f -> Alcotest.(check int) "level-1 fragment of node 2 rooted at 2" 2 f.root
+  | None -> Alcotest.fail "expected a level-1 fragment");
+  Alcotest.(check (list int)) "levels of node 3" [ 0; 1; 2 ] (Fragment.levels_of h 3);
+  Alcotest.(check bool) "no level-3 fragment" true (Fragment.at h 0 3 = None)
+
+let test_well_formed_and_minimal () =
+  let g, _, h = setup () in
+  Alcotest.(check bool) "well formed" true (Fragment.well_formed h);
+  Alcotest.(check bool) "minimal" true (Fragment.minimal h (Graph.plain_weight_fn g));
+  Alcotest.(check bool) "implies mst" true (Fragment.implies_mst h (Graph.plain_weight_fn g))
+
+let test_non_minimal_detected () =
+  (* same structure, but the level-1 fragments merge over the heavy edge
+     while a lighter outgoing edge exists: minimality must fail *)
+  let g = Graph.of_edges ~n:4 [ (0, 1, 5); (1, 2, 1); (2, 3, 6); (0, 3, 2) ] in
+  let t = Tree.of_parents g [| -1; 0; 1; 2 |] in
+  let records =
+    [
+      (0, 0, [ 0 ], Some (0, 1));
+      (0, 1, [ 1 ], Some (1, 0));
+      (0, 2, [ 2 ], Some (2, 3));
+      (0, 3, [ 3 ], Some (3, 2));
+      (1, 0, [ 0; 1 ], Some (1, 2));
+      (1, 2, [ 2; 3 ], Some (2, 1));
+      (2, 0, [ 0; 1; 2; 3 ], None);
+    ]
+  in
+  let h = Fragment.build t records in
+  Alcotest.(check bool) "well formed still" true (Fragment.well_formed h);
+  Alcotest.(check bool) "but not minimal" false (Fragment.minimal h (Graph.plain_weight_fn g))
+
+let test_malformed_hierarchies_rejected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1); (1, 2, 2) ] in
+  let t = Tree.of_parents g [| -1; 0; 1 |] in
+  let raises records = try ignore (Fragment.build t records); false with Graph.Malformed _ -> true in
+  Alcotest.(check bool) "missing singleton" true
+    (raises [ (0, 0, [ 0 ], Some (0, 1)); (1, 0, [ 0; 1; 2 ], None) ]);
+  Alcotest.(check bool) "missing whole" true
+    (raises [ (0, 0, [ 0 ], Some (0, 1)); (0, 1, [ 1 ], Some (1, 0)); (0, 2, [ 2 ], Some (2, 1)) ]);
+  Alcotest.(check bool) "candidate not outgoing" true
+    (raises
+       [
+         (0, 0, [ 0 ], Some (0, 1));
+         (0, 1, [ 1 ], Some (1, 0));
+         (0, 2, [ 2 ], Some (2, 1));
+         (1, 0, [ 0; 1 ], Some (0, 1));
+         (2, 0, [ 0; 1; 2 ], None);
+       ]);
+  Alcotest.(check bool) "level not increasing" true
+    (raises
+       [
+         (0, 0, [ 0 ], Some (0, 1));
+         (0, 1, [ 1 ], Some (1, 0));
+         (0, 2, [ 2 ], Some (2, 1));
+         (0, 0, [ 0; 1 ], Some (1, 2));
+         (2, 0, [ 0; 1; 2 ], None);
+       ])
+
+let test_ident () =
+  let g, _, h = setup () in
+  let f = Option.get (Fragment.at h 3 1) in
+  Alcotest.(check (pair int int)) "identity = root id + level" (2, 1) (Fragment.ident g f)
+
+let suite =
+  [
+    Alcotest.test_case "build" `Quick test_build;
+    Alcotest.test_case "lookups" `Quick test_at_and_levels;
+    Alcotest.test_case "well-formed + minimal" `Quick test_well_formed_and_minimal;
+    Alcotest.test_case "non-minimal detected" `Quick test_non_minimal_detected;
+    Alcotest.test_case "malformed rejected" `Quick test_malformed_hierarchies_rejected;
+    Alcotest.test_case "fragment identity" `Quick test_ident;
+  ]

@@ -1,0 +1,90 @@
+open Ssmst_graph
+
+let test_shapes () =
+  let st = Gen.rng 1 in
+  Alcotest.(check int) "path edges" 9 (Graph.num_edges (Gen.path st 10));
+  Alcotest.(check int) "ring edges" 10 (Graph.num_edges (Gen.ring st 10));
+  Alcotest.(check int) "star edges" 9 (Graph.num_edges (Gen.star st 10));
+  Alcotest.(check int) "complete edges" 45 (Graph.num_edges (Gen.complete st 10));
+  Alcotest.(check int) "grid nodes" 12 (Graph.n (Gen.grid st 3 4));
+  Alcotest.(check int) "grid edges" 17 (Graph.num_edges (Gen.grid st 3 4));
+  Alcotest.(check int) "binary tree edges" 9 (Graph.num_edges (Gen.binary_tree st 10))
+
+let test_connectivity () =
+  let st = Gen.rng 2 in
+  for n = 2 to 40 do
+    Alcotest.(check bool) "random graph connected" true
+      (Graph.is_connected (Gen.random_connected st n))
+  done
+
+let test_distinct_weights () =
+  let st = Gen.rng 3 in
+  let g = Gen.random_connected st 30 in
+  let ws = List.map (fun (_, _, w) -> w) (Graph.edges g) in
+  Alcotest.(check int) "weights distinct" (List.length ws) (List.length (List.sort_uniq compare ws))
+
+let test_hypertree_properties () =
+  let st = Gen.rng 4 in
+  let g, t = Gen.hypertree_like st 4 in
+  Alcotest.(check int) "node count" 31 (Graph.n g);
+  Alcotest.(check bool) "H(G) is the MST" true (Mst.is_mst g (Graph.plain_weight_fn g) t);
+  (* every node touches at most one non-tree edge; root touches none *)
+  for v = 0 to Graph.n g - 1 do
+    let non_tree =
+      Array.to_list (Graph.neighbours g v)
+      |> List.filter (fun u -> not (Tree.is_tree_edge t v u))
+    in
+    Alcotest.(check bool) "at most one cross edge" true (List.length non_tree <= 1);
+    if v = Tree.root t then Alcotest.(check int) "root has no cross edge" 0 (List.length non_tree)
+  done
+
+let test_subdivide_preserves_mst () =
+  let st = Gen.rng 5 in
+  let g, t = Gen.hypertree_like st 3 in
+  let tau = 2 in
+  let g', t' = Gen.subdivide ~tau g t in
+  Alcotest.(check bool) "positive instance stays an MST" true
+    (Mst.is_mst g' (Graph.plain_weight_fn g') t');
+  (* node count: n + 2*tau per edge *)
+  Alcotest.(check int) "node count" (Graph.n g + (2 * tau * Graph.num_edges g)) (Graph.n g')
+
+let test_subdivide_negative () =
+  (* break minimality in G by swapping a cross edge weight below its cycle,
+     then check the subdivided instance is not an MST either *)
+  let st = Gen.rng 6 in
+  let g, t = Gen.hypertree_like st 3 in
+  (* make a non-tree edge the lightest edge of the graph: its subdivided
+     image must then violate minimality too *)
+  let cross =
+    Graph.edges g |> List.find (fun (u, v, _) -> not (Tree.is_tree_edge t u v))
+  in
+  let u0, v0, _ = cross in
+  let edges' =
+    Graph.edges g |> List.map (fun (u, v, w) -> if (u, v) = (u0, v0) then (u, v, 0) else (u, v, w))
+  in
+  let g2 = Graph.of_edges ~n:(Graph.n g) edges' in
+  let t2 = Tree.of_parents g2 (Array.init (Graph.n g) (fun v -> match Tree.parent t v with None -> -1 | Some p -> p)) in
+  Alcotest.(check bool) "base instance not an MST" false (Mst.is_mst g2 (Graph.plain_weight_fn g2) t2);
+  let g2', t2' = Gen.subdivide ~tau:2 g2 t2 in
+  Alcotest.(check bool) "subdivided instance not an MST" false
+    (Mst.is_mst g2' (Graph.plain_weight_fn g2') t2')
+
+let qcheck_subdivide_iff =
+  QCheck.Test.make ~name:"subdivision preserves MST-ness in both directions" ~count:40
+    QCheck.(pair (int_range 2 3) (int_range 0 100))
+    (fun (h, seed) ->
+      let st = Gen.rng seed in
+      let g, t = Gen.hypertree_like st h in
+      let g', t' = Gen.subdivide ~tau:1 g t in
+      Mst.is_mst g (Graph.plain_weight_fn g) t = Mst.is_mst g' (Graph.plain_weight_fn g') t')
+
+let suite =
+  [
+    Alcotest.test_case "generator shapes" `Quick test_shapes;
+    Alcotest.test_case "random graphs connected" `Quick test_connectivity;
+    Alcotest.test_case "distinct weights" `Quick test_distinct_weights;
+    Alcotest.test_case "hypertree family properties" `Quick test_hypertree_properties;
+    Alcotest.test_case "subdivision preserves MST" `Quick test_subdivide_preserves_mst;
+    Alcotest.test_case "subdivision preserves non-MST" `Quick test_subdivide_negative;
+    QCheck_alcotest.to_alcotest qcheck_subdivide_iff;
+  ]

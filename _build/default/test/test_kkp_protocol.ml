@@ -1,0 +1,81 @@
+open Ssmst_graph
+open Ssmst_sim
+open Ssmst_core
+open Ssmst_pls
+
+(* The KKP 1-PLS running as a protocol: the paper's Section 1 alternative
+   checker — detection time exactly 1 and detection distance at most f,
+   costing Θ(log² n) bits. *)
+
+let scheme_for seed n =
+  let st = Gen.rng seed in
+  Kkp_pls.mark (Marker.run (Gen.random_connected st n))
+
+let mk scheme =
+  let module C = struct
+    let scheme = scheme
+  end in
+  (module Kkp_protocol.Make (C) : Protocol.S with type state = Kkp_protocol.state)
+
+let test_accepts () =
+  List.iter
+    (fun n ->
+      let scheme = scheme_for (2300 + n) n in
+      let module P = (val mk scheme) in
+      let module Net = Network.Make (P) in
+      let net = Net.create scheme.Kkp_pls.marker.Marker.graph in
+      Net.run net Scheduler.Sync ~rounds:20;
+      Alcotest.(check bool) (Fmt.str "silent n=%d" n) false (Net.any_alarm net))
+    [ 2; 8; 24; 64 ]
+
+let test_one_round_detection () =
+  let detected_in_one = ref 0 and total = 8 in
+  for i = 1 to total do
+    let scheme = scheme_for (2400 + i) 32 in
+    let module P = (val mk scheme) in
+    let module Net = Network.Make (P) in
+    let net = Net.create scheme.Kkp_pls.marker.Marker.graph in
+    Net.run net Scheduler.Sync ~rounds:5;
+    let faults = Net.inject_faults net (Gen.rng (2500 + i)) ~count:1 in
+    match Net.detection_time net Scheduler.Sync ~max_rounds:3 with
+    | Some 1 -> (
+        incr detected_in_one;
+        (* detection distance at most 1 hop from the fault (the scheme's
+           guarantee is f = 1): the alarming node reads the fault directly *)
+        match Net.detection_distance net ~faults with
+        | Some d -> Alcotest.(check bool) "distance <= 1" true (d <= 1)
+        | None -> Alcotest.fail "no alarming node")
+    | Some _ | None -> ()
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "one-round detections: %d/%d" !detected_in_one total)
+    true (!detected_in_one >= 6)
+
+let test_memory_quadratic () =
+  let bits n =
+    let scheme = scheme_for (2600 + n) n in
+    let module P = (val mk scheme) in
+    let module Net = Network.Make (P) in
+    let net = Net.create scheme.Kkp_pls.marker.Marker.graph in
+    Net.run net Scheduler.Sync ~rounds:2;
+    Net.peak_bits net
+  in
+  (* Θ(log² n): the per-log-squared ratio stays bounded *)
+  let r n = float_of_int (bits n) /. (float_of_int (Memory.of_nat n) ** 2.) in
+  Alcotest.(check bool) "log^2 shape" true (r 256 < 4. *. r 16 +. 2.)
+
+let test_async () =
+  let scheme = scheme_for 2700 24 in
+  let module P = (val mk scheme) in
+  let module Net = Network.Make (P) in
+  let net = Net.create scheme.Kkp_pls.marker.Marker.graph in
+  Net.run net (Scheduler.Async_random (Gen.rng 2701)) ~rounds:30;
+  Alcotest.(check bool) "silent under async daemon" false (Net.any_alarm net)
+
+let suite =
+  [
+    Alcotest.test_case "accepts correct instances" `Quick test_accepts;
+    Alcotest.test_case "one-round detection, distance <= 1" `Quick test_one_round_detection;
+    Alcotest.test_case "memory Θ(log² n)" `Quick test_memory_quadratic;
+    Alcotest.test_case "async acceptance" `Quick test_async;
+  ]

@@ -1,0 +1,143 @@
+open Ssmst_graph
+open Ssmst_core
+
+let marked_instance seed n =
+  let st = Gen.rng seed in
+  let g = Gen.random_connected st n in
+  let r = Sync_mst.run g in
+  let labels = Labels.of_hierarchy r.hierarchy in
+  (g, r, labels)
+
+let no_violations vw n =
+  List.for_all (fun v -> v = []) (Labels.check_all vw n)
+
+let test_marker_accepted () =
+  let _, r, labels = marked_instance 40 30 in
+  let vw = Labels.view_of_tree r.tree labels in
+  List.iteri
+    (fun v bad ->
+      if bad <> [] then
+        Alcotest.failf "node %d violates %s" v (String.concat "," bad))
+    (Labels.check_all vw 30)
+
+let test_marker_accepted_families () =
+  let st = Gen.rng 41 in
+  List.iter
+    (fun g ->
+      let r = Sync_mst.run g in
+      let labels = Labels.of_hierarchy r.hierarchy in
+      let vw = Labels.view_of_tree r.tree labels in
+      Alcotest.(check bool) "all nodes accept" true (no_violations vw (Graph.n g)))
+    [ Gen.path st 16; Gen.star st 16; Gen.grid st 4 4; Gen.complete st 10 ]
+
+(* Corruption helpers: mutate one entry and expect some node to reject. *)
+let expect_rejection mutate =
+  let _, r, labels = marked_instance 42 24 in
+  mutate labels;
+  let vw = Labels.view_of_tree r.tree labels in
+  Alcotest.(check bool) "some node rejects" false (no_violations vw 24)
+
+let test_corrupt_roots_zero () =
+  expect_rejection (fun labels -> labels.(5).Labels.roots.(0) <- Labels.R0)
+
+let test_corrupt_roots_star () =
+  expect_rejection (fun labels ->
+      let l = labels.(3) in
+      l.Labels.roots.(l.Labels.len - 1) <- Labels.RStar)
+
+let test_corrupt_endp () =
+  expect_rejection (fun labels ->
+      (* claim an extra endpoint at level 0 at node 7: EPS1 count breaks *)
+      labels.(7).Labels.endp.(0) <- Labels.ENone)
+
+let test_corrupt_parents () =
+  expect_rejection (fun labels ->
+      let l = labels.(2) in
+      (* set a spurious parents bit at the top level *)
+      l.Labels.parents.(l.Labels.len - 1) <- true)
+
+let test_corrupt_cnt () =
+  expect_rejection (fun labels -> labels.(1).Labels.cnt.(0) <- 0)
+
+let test_queries () =
+  let _, r, labels = marked_instance 43 20 in
+  let vw = Labels.view_of_tree r.tree labels in
+  let root = Tree.root r.tree in
+  Alcotest.(check bool) "root is top-level fragment root" true
+    (Labels.is_frag_root labels.(root) (labels.(root).Labels.len - 1));
+  (* every node belongs to a level-0 fragment *)
+  for v = 0 to 19 do
+    Alcotest.(check bool) "belongs at level 0" true (Labels.belongs labels.(v) 0)
+  done;
+  (* candidate_edge agrees with the hierarchy *)
+  Array.iter
+    (fun (f : Fragment.t) ->
+      match f.candidate with
+      | Some (w, x) -> (
+          match Labels.candidate_edge vw w f.level with
+          | Some (`Up p) -> Alcotest.(check int) "up edge" x p
+          | Some (`Down c) -> Alcotest.(check int) "down edge" x c
+          | None -> Alcotest.fail "missing candidate edge")
+      | None -> ())
+    r.hierarchy.frags
+
+let test_same_fragment_queries () =
+  let _, r, labels = marked_instance 44 26 in
+  let vw = Labels.view_of_tree r.tree labels in
+  let h = r.hierarchy in
+  Array.iter
+    (fun (f : Fragment.t) ->
+      Array.iter
+        (fun v ->
+          match Tree.parent r.tree v with
+          | Some p when Fragment.mem f p && v <> f.root ->
+              Alcotest.(check bool) "child sees shared fragment with parent" true
+                (Labels.same_fragment_as_parent vw ~node:v f.level)
+          | _ -> ())
+        f.members)
+    h.frags
+
+let qcheck_labels_legal =
+  QCheck.Test.make ~name:"marker labels satisfy RS/EPS on random graphs" ~count:40
+    QCheck.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let g = Gen.random_connected st n in
+      let r = Sync_mst.run g in
+      let labels = Labels.of_hierarchy r.hierarchy in
+      let vw = Labels.view_of_tree r.tree labels in
+      ignore g;
+      no_violations vw n)
+
+let qcheck_random_corruption_detected =
+  QCheck.Test.make ~name:"random single-entry corruptions are detected or harmless" ~count:60
+    QCheck.(pair (int_range 4 30) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let g = Gen.random_connected st n in
+      let r = Sync_mst.run g in
+      let labels = Labels.of_hierarchy r.hierarchy in
+      (* flip one random roots entry to a random symbol *)
+      let v = Random.State.int st n in
+      let j = Random.State.int st labels.(v).Labels.len in
+      let before = labels.(v).Labels.roots.(j) in
+      let sym = [| Labels.R1; Labels.R0; Labels.RStar |].(Random.State.int st 3) in
+      labels.(v).Labels.roots.(j) <- sym;
+      let vw = Labels.view_of_tree r.tree labels in
+      (* either the change is a no-op, or some node rejects *)
+      sym = before || not (no_violations vw n))
+
+let suite =
+  [
+    Alcotest.test_case "marker output accepted" `Quick test_marker_accepted;
+    Alcotest.test_case "accepted across families" `Quick test_marker_accepted_families;
+    Alcotest.test_case "corrupt roots '0' detected" `Quick test_corrupt_roots_zero;
+    Alcotest.test_case "corrupt roots '*' detected" `Quick test_corrupt_roots_star;
+    Alcotest.test_case "erased endpoint detected" `Quick test_corrupt_endp;
+    Alcotest.test_case "spurious parents bit detected" `Quick test_corrupt_parents;
+    Alcotest.test_case "corrupt count detected" `Quick test_corrupt_cnt;
+    Alcotest.test_case "label queries" `Quick test_queries;
+    Alcotest.test_case "same-fragment queries" `Quick test_same_fragment_queries;
+    QCheck_alcotest.to_alcotest qcheck_labels_legal;
+    QCheck_alcotest.to_alcotest qcheck_random_corruption_detected;
+  ]

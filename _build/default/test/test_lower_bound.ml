@@ -1,0 +1,58 @@
+open Ssmst_core
+open Ssmst_pls
+
+let test_positive_instances_accepted () =
+  List.iter
+    (fun h ->
+      let d = Lower_bound.measure ~seed:(2000 + h) ~h ~tau:0 ~positive:true in
+      Alcotest.(check bool) "no detection on a positive instance" true
+        (d.Lower_bound.detection_rounds = None))
+    [ 2; 3; 4 ]
+
+let test_negative_instances_rejected () =
+  List.iter
+    (fun h ->
+      let d = Lower_bound.measure ~seed:(2010 + h) ~h ~tau:0 ~positive:false in
+      match d.Lower_bound.detection_rounds with
+      | Some _ -> ()
+      | None -> Alcotest.failf "negative instance h=%d not detected" h)
+    [ 2; 3; 4 ]
+
+let test_subdivided_negative_rejected () =
+  let d = Lower_bound.measure ~seed:2020 ~h:3 ~tau:1 ~positive:false in
+  match d.Lower_bound.detection_rounds with
+  | Some _ -> ()
+  | None -> Alcotest.fail "subdivided negative instance not detected"
+
+let test_kkp_instant_detection () =
+  let d, rejected = Kkp_pls.measure_lower_bound ~seed:2030 ~h:3 ~tau:0 ~positive:false in
+  Alcotest.(check bool) "kkp rejects" true rejected;
+  Alcotest.(check (option int)) "in one round" (Some 1) d.Lower_bound.detection_rounds
+
+let test_kkp_accepts_positive () =
+  let _, rejected = Kkp_pls.measure_lower_bound ~seed:2031 ~h:3 ~tau:0 ~positive:true in
+  Alcotest.(check bool) "kkp accepts positive" false rejected
+
+(* the trade-off: the compact scheme trades detection time for memory.  On
+   the same negative instance, KKP detects in exactly 1 round while the
+   compact verifier needs strictly more (it must wait for the trains); the
+   memory side of the trade-off (Θ(log² n) vs O(log n) label growth) is
+   asserted on random graphs in Test_pls.test_memory_separation, because on
+   the hypertree family per-node fragment counts are constant. *)
+let test_tradeoff_shape () =
+  let compact = Lower_bound.measure ~seed:2040 ~h:4 ~tau:0 ~positive:false in
+  let _, kkp_rejects = Kkp_pls.measure_lower_bound ~seed:2040 ~h:4 ~tau:0 ~positive:false in
+  Alcotest.(check bool) "KKP detects in one round" true kkp_rejects;
+  match compact.Lower_bound.detection_rounds with
+  | Some t -> Alcotest.(check bool) "compact detection needs > 1 round" true (t > 1)
+  | None -> Alcotest.fail "compact scheme failed to detect"
+
+let suite =
+  [
+    Alcotest.test_case "positive instances accepted" `Quick test_positive_instances_accepted;
+    Alcotest.test_case "negative instances rejected" `Quick test_negative_instances_rejected;
+    Alcotest.test_case "subdivided negatives rejected" `Slow test_subdivided_negative_rejected;
+    Alcotest.test_case "KKP detects instantly" `Quick test_kkp_instant_detection;
+    Alcotest.test_case "KKP accepts positives" `Quick test_kkp_accepts_positive;
+    Alcotest.test_case "time/memory trade-off" `Quick test_tradeoff_shape;
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "ssmst"
+    [
+      ("weight", Test_weight.suite);
+      ("graph", Test_graph.suite);
+      ("tree", Test_tree.suite);
+      ("mst", Test_mst.suite);
+      ("gen", Test_gen.suite);
+      ("simulator", Test_sim.suite);
+      ("protocols", Test_protocols.suite);
+      ("fragment", Test_fragment.suite);
+      ("sync-mst", Test_sync_mst.suite);
+      ("labels", Test_labels.suite);
+      ("partition", Test_partition.suite);
+      ("verifier", Test_verifier.suite);
+      ("pls", Test_pls.suite);
+      ("baselines", Test_baselines.suite);
+      ("transformer", Test_transformer.suite);
+      ("lower-bound", Test_lower_bound.suite);
+      ("multi-wave", Test_multi_wave.suite);
+      ("train", Test_train.suite);
+      ("kkp-protocol", Test_kkp_protocol.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("message-passing", Test_mp.suite);
+      ("sync-reset", Test_sync_reset.suite);
+      ("detection-matrix", Test_detection_matrix.suite);
+      ("dist-wave", Test_dist_wave.suite);
+      ("forge", Test_forge.suite);
+      ("figure-1", Test_fig1.suite);
+    ]

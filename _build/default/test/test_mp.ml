@@ -1,0 +1,119 @@
+open Ssmst_graph
+open Ssmst_mp
+
+(* ---------------- the message-passing emulation ---------------- *)
+
+(* a trivial echo protocol: node 0 sends a token around a ring; each node
+   forwards it once and counts *)
+module Ring_token = struct
+  type state = { forwarded : int }
+  type message = Token of int
+
+  let init g v =
+    if v = 0 then
+      (* send towards the neighbour with the larger index *)
+      let p = Graph.port_to g 0 1 in
+      ({ forwarded = 0 }, [ (p, Token 0) ])
+    else ({ forwarded = 0 }, [])
+
+  let on_message g v (s : state) ~port (Token k) =
+    ignore port;
+    let n = Graph.n g in
+    if k >= 3 * n then (s, Mp.nothing)
+    else
+      let next = (v + 1) mod n in
+      ({ forwarded = s.forwarded + 1 }, Mp.send [ (Graph.port_to g v next, Token (k + 1)) ])
+
+  let message_bits (Token k) = Ssmst_sim.Memory.of_nat k
+  let state_bits s = Ssmst_sim.Memory.of_nat s.forwarded
+end
+
+let test_token_delivery_count () =
+  let st = Gen.rng 2801 in
+  let g = Gen.ring st 8 in
+  let module E = Mp.Emulate (Ring_token) in
+  let module Net = Ssmst_sim.Network.Make (E) in
+  let net = Net.create g in
+  Net.run net Ssmst_sim.Scheduler.Sync ~rounds:300;
+  let delivered =
+    Array.fold_left (fun acc (s : E.state) -> acc + s.E.delivered) 0 (Net.states net)
+  in
+  (* token hops exactly 3n+1 times before stopping *)
+  Alcotest.(check int) "every hop delivered exactly once" (3 * 8 + 1) delivered;
+  Alcotest.(check bool) "network quiescent" true
+    (Array.for_all E.quiescent_node (Net.states net))
+
+let test_async_no_duplication () =
+  let st = Gen.rng 2802 in
+  let g = Gen.ring st 6 in
+  let module E = Mp.Emulate (Ring_token) in
+  let module Net = Ssmst_sim.Network.Make (E) in
+  let net = Net.create g in
+  Net.run net (Ssmst_sim.Scheduler.Async_adversarial (Gen.rng 2803)) ~rounds:400;
+  let delivered =
+    Array.fold_left (fun acc (s : E.state) -> acc + s.E.delivered) 0 (Net.states net)
+  in
+  Alcotest.(check int) "no duplication under the adversarial daemon" (3 * 6 + 1) delivered
+
+(* ---------------- GHS on message passing ---------------- *)
+
+let test_ghs_mp_families () =
+  let st = Gen.rng 2810 in
+  List.iter
+    (fun g ->
+      let r = Ghs_mp.run g in
+      Alcotest.(check bool) "GHS-MP computes the MST" true
+        (Mst.is_mst g (Graph.plain_weight_fn g) r.Ghs_mp.tree))
+    [
+      Graph.of_edges ~n:2 [ (0, 1, 5) ];
+      Gen.path st 9;
+      Gen.ring st 8;
+      Gen.star st 10;
+      Gen.complete st 8;
+      Gen.grid st 3 4;
+      Gen.random_connected st 24;
+    ]
+
+let test_ghs_mp_message_complexity () =
+  (* GHS sends O(m + n log n) messages *)
+  let st = Gen.rng 2811 in
+  let g = Gen.random_connected st 48 in
+  let r = Ghs_mp.run g in
+  let n = 48 and m = Graph.num_edges g in
+  let bound = 20 * ((2 * m) + (5 * n * Ssmst_sim.Memory.of_nat n)) in
+  Alcotest.(check bool)
+    (Fmt.str "messages %d within O(m + n log n) = %d" r.Ghs_mp.messages bound)
+    true
+    (r.Ghs_mp.messages <= bound)
+
+let test_ghs_mp_async () =
+  (* quiescence + correctness under the asynchronous daemon *)
+  let st = Gen.rng 2812 in
+  let g = Gen.random_connected st 16 in
+  let module Net = Ghs_mp.Net in
+  let net = Net.create g in
+  let quiescent net = Array.for_all Ghs_mp.Runner.quiescent_node (Net.states net) in
+  let _, reached =
+    Net.run_until net (Ssmst_sim.Scheduler.Async_random (Gen.rng 2813)) ~max_rounds:100000
+      quiescent
+  in
+  Alcotest.(check bool) "quiesces asynchronously" true reached
+
+let qcheck_ghs_mp =
+  QCheck.Test.make ~name:"event-driven GHS computes the MST on random graphs" ~count:25
+    QCheck.(pair (int_range 2 32) (int_range 0 10000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let g = Gen.random_connected st n in
+      let r = Ghs_mp.run g in
+      Mst.is_mst g (Graph.plain_weight_fn g) r.Ghs_mp.tree)
+
+let suite =
+  [
+    Alcotest.test_case "token delivery (exactly once)" `Quick test_token_delivery_count;
+    Alcotest.test_case "no duplication under adversarial daemon" `Quick test_async_no_duplication;
+    Alcotest.test_case "GHS-MP on standard families" `Quick test_ghs_mp_families;
+    Alcotest.test_case "GHS-MP message complexity" `Quick test_ghs_mp_message_complexity;
+    Alcotest.test_case "GHS-MP async quiescence" `Quick test_ghs_mp_async;
+    QCheck_alcotest.to_alcotest qcheck_ghs_mp;
+  ]

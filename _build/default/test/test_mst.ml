@@ -1,0 +1,84 @@
+open Ssmst_graph
+
+let test_kruskal_simple () =
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1); (1, 2, 2); (2, 3, 3); (0, 3, 9); (0, 2, 8) ] in
+  let w = Graph.plain_weight_fn g in
+  Alcotest.(check (list (pair int int)))
+    "kruskal picks the light edges"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (List.sort compare (Mst.kruskal g w))
+
+let test_prim_equals_kruskal () =
+  let st = Gen.rng 42 in
+  for _ = 1 to 20 do
+    let n = 2 + Random.State.int st 60 in
+    let g = Gen.random_connected st n in
+    let w = Graph.plain_weight_fn g in
+    let k = List.sort compare (Mst.kruskal g w) in
+    let p = List.sort compare (Mst.edge_set_of_tree (Mst.prim g w)) in
+    Alcotest.(check (list (pair int int))) "prim = kruskal" k p
+  done
+
+let test_is_mst () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1); (1, 2, 2); (0, 2, 3) ] in
+  let w = Graph.plain_weight_fn g in
+  let good = Tree.of_parents g [| -1; 0; 1 |] in
+  let bad = Tree.of_parents g [| -1; 0; 0 |] in
+  Alcotest.(check bool) "accepts the MST" true (Mst.is_mst g w good);
+  Alcotest.(check bool) "rejects a heavier tree" false (Mst.is_mst g w bad)
+
+let test_min_outgoing () =
+  let g = Graph.of_edges ~n:4 [ (0, 1, 4); (1, 2, 1); (0, 3, 2); (2, 3, 7) ] in
+  let w = Graph.plain_weight_fn g in
+  (match Mst.min_outgoing g w ~in_set:(fun v -> v = 0) with
+  | Some (0, 3, _) -> ()
+  | _ -> Alcotest.fail "expected edge (0,3)");
+  (match Mst.min_outgoing g w ~in_set:(fun _ -> true) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "spanning set has no outgoing edge")
+
+(* Cut property: for any node subset, the min outgoing edge is in the MST. *)
+let qcheck_cut_property =
+  QCheck.Test.make ~name:"cut property: min outgoing edge is in the MST" ~count:100
+    QCheck.(pair (int_range 3 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let g = Gen.random_connected st n in
+      let w = Graph.plain_weight_fn g in
+      let mst = List.sort compare (Mst.kruskal g w) in
+      let in_set v = v mod 3 = seed mod 3 in
+      if (not (Array.exists in_set (Array.init n Fun.id)))
+         || Array.for_all in_set (Array.init n Fun.id)
+      then true
+      else
+        match Mst.min_outgoing g w ~in_set with
+        | None -> true
+        | Some (u, v, _) -> List.mem (min u v, max u v) mst)
+
+(* The ω′ transform (footnote 1): T is an MST under ω iff under ω′. *)
+let qcheck_weight_transform =
+  QCheck.Test.make ~name:"omega' transform preserves MST-ness of the candidate" ~count:100
+    QCheck.(int_range 3 30)
+    (fun n ->
+      let st = Gen.rng (n * 13) in
+      (* duplicate weights on purpose *)
+      let skeleton = Gen.random_connected_skeleton st n ~extra:n in
+      let edges = List.map (fun (u, v) -> (u, v, 1 + Random.State.int st 4)) skeleton in
+      let g = Graph.of_edges ~n edges in
+      let wp = Graph.plain_weight_fn g in
+      let t = Mst.prim g wp in
+      let in_tree u v = Tree.is_tree_edge t u v in
+      let w' = Graph.weight_fn g ~in_tree in
+      (* t is minimal under plain tie-broken weights; under ω′ with t's own
+         indicator, t must still be the unique MST *)
+      Mst.is_mst g w' t)
+
+let suite =
+  [
+    Alcotest.test_case "kruskal on a diamond" `Quick test_kruskal_simple;
+    Alcotest.test_case "prim equals kruskal" `Quick test_prim_equals_kruskal;
+    Alcotest.test_case "is_mst" `Quick test_is_mst;
+    Alcotest.test_case "min outgoing edge" `Quick test_min_outgoing;
+    QCheck_alcotest.to_alcotest qcheck_cut_property;
+    QCheck_alcotest.to_alcotest qcheck_weight_transform;
+  ]

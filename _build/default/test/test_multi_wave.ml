@@ -1,0 +1,59 @@
+open Ssmst_graph
+open Ssmst_core
+
+let hierarchy_of seed n =
+  let st = Gen.rng seed in
+  let g = Gen.random_connected st n in
+  (g, (Sync_mst.run g).Sync_mst.hierarchy)
+
+(* command: count members from child echoes (+1 per extra singleton) *)
+let test_size_aggregation () =
+  let _, h = hierarchy_of 2100 40 in
+  let mw =
+    Multi_wave.run h ~command:(fun f echoes ->
+        if echoes = [] then Fragment.size f else List.fold_left ( + ) 0 echoes)
+  in
+  Array.iter
+    (fun (f : Fragment.t) ->
+      Alcotest.(check int) "echo = fragment size" (Fragment.size f) mw.Multi_wave.results.(f.index))
+    h.frags
+
+let test_child_order () =
+  (* a command that records the child count must match the hierarchy *)
+  let _, h = hierarchy_of 2101 30 in
+  let mw = Multi_wave.run h ~command:(fun _ echoes -> List.length echoes) in
+  Array.iter
+    (fun (f : Fragment.t) ->
+      Alcotest.(check int) "children count" (List.length f.children)
+        mw.Multi_wave.results.(f.index))
+    h.frags
+
+let test_linear_time () =
+  List.iter
+    (fun n ->
+      let _, h = hierarchy_of (2102 + n) n in
+      let mw = Multi_wave.run h ~command:(fun f _ -> Fragment.size f) in
+      Alcotest.(check bool)
+        (Fmt.str "O(n) rounds: %d for n=%d" mw.Multi_wave.rounds n)
+        true
+        (Multi_wave.linear_bound h mw))
+    [ 8; 32; 128; 512 ]
+
+let test_levels_ordered () =
+  (* a level-j wave must observe results from strictly lower levels only:
+     command checks its children's levels *)
+  let _, h = hierarchy_of 2103 50 in
+  let mw =
+    Multi_wave.run h ~command:(fun f echoes ->
+        List.iter (fun lvl -> if lvl >= f.level then Alcotest.fail "level order") echoes;
+        f.level)
+  in
+  ignore mw
+
+let suite =
+  [
+    Alcotest.test_case "size aggregation" `Quick test_size_aggregation;
+    Alcotest.test_case "child echoes" `Quick test_child_order;
+    Alcotest.test_case "linear time (Obs 6.8)" `Quick test_linear_time;
+    Alcotest.test_case "level ordering (Obs 6.6)" `Quick test_levels_ordered;
+  ]

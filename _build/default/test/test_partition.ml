@@ -1,0 +1,138 @@
+open Ssmst_graph
+open Ssmst_core
+
+let setup seed n =
+  let st = Gen.rng seed in
+  let g = Gen.random_connected st n in
+  let r = Sync_mst.run g in
+  (g, r, Partition.compute r.hierarchy)
+
+let check_cover (a : Partition.assignment) n =
+  (* every node belongs to exactly one part of each partition *)
+  let top_seen = Array.make n 0 and bot_seen = Array.make n 0 in
+  Array.iter
+    (fun (p : Partition.part) ->
+      List.iter
+        (fun v ->
+          match p.kind with
+          | `Top -> top_seen.(v) <- top_seen.(v) + 1
+          | `Bottom -> bot_seen.(v) <- bot_seen.(v) + 1)
+        p.members)
+    a.parts;
+  Array.for_all (( = ) 1) top_seen && Array.for_all (( = ) 1) bot_seen
+
+let test_partitions_cover () =
+  List.iter
+    (fun n ->
+      let _, _, a = setup (100 + n) n in
+      Alcotest.(check bool) (Fmt.str "cover n=%d" n) true (check_cover a n))
+    [ 2; 3; 4; 5; 8; 16; 31; 64 ]
+
+let test_lemmas () =
+  List.iter
+    (fun n ->
+      let _, _, a = setup (200 + n) n in
+      Alcotest.(check bool) (Fmt.str "lemma 6.4 n=%d" n) true (Partition.lemma_6_4 a ~n);
+      Alcotest.(check bool) (Fmt.str "lemma 6.5 n=%d" n) true (Partition.lemma_6_5 a))
+    [ 4; 8; 16; 32; 64; 128 ]
+
+(* Claim 6.3 consequence: a Top part's train carries at most one piece per
+   level, sorted strictly increasing. *)
+let test_top_pieces_sorted () =
+  let _, _, a = setup 300 64 in
+  Array.iter
+    (fun (p : Partition.part) ->
+      if p.kind = `Top then
+        Array.iteri
+          (fun i (pc : Pieces.t) ->
+            if i > 0 then
+              Alcotest.(check bool) "levels strictly increase" true
+                (pc.level > p.pieces.(i - 1).level))
+          p.pieces)
+    a.parts
+
+(* Completeness: for every node v and level j in J(v), the piece of F_j(v)
+   is carried by one of the two trains of v's parts. *)
+let test_pieces_reachable () =
+  List.iter
+    (fun (seed, n) ->
+      let g, r, a = setup seed n in
+      let h = r.hierarchy in
+      for v = 0 to n - 1 do
+        List.iter
+          (fun fi ->
+            let f = h.frags.(fi) in
+            match f.candidate with
+            | None -> ()
+            | Some _ ->
+                let expected_id = Graph.id g f.root in
+                let carried (p : Partition.part) =
+                  Array.exists
+                    (fun (pc : Pieces.t) -> pc.root_id = expected_id && pc.level = f.level)
+                    p.pieces
+                in
+                let top = a.parts.(a.top_of.(v)) and bot = a.parts.(a.bot_of.(v)) in
+                Alcotest.(check bool)
+                  (Fmt.str "piece of F_%d(%d) reachable (n=%d)" f.level v n)
+                  true
+                  (carried top || carried bot))
+          h.of_node.(v)
+      done)
+    [ (301, 16); (302, 40); (303, 97) ]
+
+(* The delimiter splits J(v) correctly: top levels are >= delim, bottom
+   levels below. *)
+let test_delimiter () =
+  let _, r, a = setup 304 80 in
+  let h = r.hierarchy in
+  for v = 0 to 79 do
+    List.iter
+      (fun fi ->
+        let f = h.frags.(fi) in
+        let top = Fragment.size f >= a.threshold in
+        Alcotest.(check bool) "delim splits J(v)" true (top = (f.level >= a.delim.(v))))
+      h.of_node.(v)
+  done
+
+(* Per-node storage: at most two pieces, and the pair placement follows the
+   part's DFS order. *)
+let test_piece_placement () =
+  let _, _, a = setup 305 60 in
+  Array.iter
+    (fun (p : Partition.part) ->
+      let seen = ref [] in
+      List.iter
+        (fun v ->
+          let l = if p.kind = `Top then a.top_label.(v) else a.bot_label.(v) in
+          Alcotest.(check bool) "at most a pair" true (Array.length l.own <= 2);
+          Array.iteri (fun i pc -> seen := ((2 * l.dfs_rank) + i, pc) :: !seen) l.own)
+        p.members;
+      let seen = List.sort (fun (a, _) (b, _) -> Int.compare a b) !seen in
+      Alcotest.(check int) "all pieces placed" (Array.length p.pieces) (List.length seen);
+      List.iteri
+        (fun i (ix, pc) ->
+          Alcotest.(check int) "contiguous indices" i ix;
+          Alcotest.(check bool) "right piece" true (Pieces.equal pc p.pieces.(i)))
+        seen)
+    a.parts
+
+let qcheck_partition =
+  QCheck.Test.make ~name:"partition invariants on random graphs" ~count:30
+    QCheck.(pair (int_range 2 80) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let g = Gen.random_connected st n in
+      let r = Sync_mst.run g in
+      let a = Partition.compute r.hierarchy in
+      check_cover a n && Partition.lemma_6_4 a ~n && Partition.lemma_6_5 a)
+
+let suite =
+  [
+    Alcotest.test_case "partitions cover all nodes" `Quick test_partitions_cover;
+    Alcotest.test_case "lemmas 6.4 and 6.5" `Quick test_lemmas;
+    Alcotest.test_case "top pieces sorted by level" `Quick test_top_pieces_sorted;
+    Alcotest.test_case "every needed piece reachable" `Quick test_pieces_reachable;
+    Alcotest.test_case "delimiter" `Quick test_delimiter;
+    Alcotest.test_case "piece placement by DFS" `Quick test_piece_placement;
+    QCheck_alcotest.to_alcotest qcheck_partition;
+  ]

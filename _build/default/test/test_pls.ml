@@ -1,0 +1,136 @@
+open Ssmst_graph
+open Ssmst_core
+open Ssmst_pls
+
+let marker_for seed n =
+  let st = Gen.rng seed in
+  Marker.run (Gen.random_connected st n)
+
+(* ---------------- simple schemes ---------------- *)
+
+let test_spanning_scheme () =
+  let m = marker_for 1200 24 in
+  let labels = Simple_pls.Spanning.mark m.Marker.tree in
+  let comp = Tree.to_components m.Marker.tree in
+  Alcotest.(check bool) "accepts the marked tree" true
+    (Simple_pls.Spanning.accepts m.Marker.graph comp labels);
+  (* corrupt a distance *)
+  labels.(5) <- { (labels.(5)) with Simple_pls.Spanning.dist = labels.(5).Simple_pls.Spanning.dist + 3 };
+  Alcotest.(check bool) "rejects a corrupted distance" false
+    (Simple_pls.Spanning.accepts m.Marker.graph comp labels)
+
+let test_spanning_rejects_forest () =
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1); (1, 2, 2); (2, 3, 3); (0, 3, 4) ] in
+  let t = Tree.of_parents g [| -1; 0; 1; 2 |] in
+  let labels = Simple_pls.Spanning.mark t in
+  (* break the structure: point 3 at 0 instead, creating a second subtree
+     inconsistent with the distances *)
+  let comp = Tree.to_components t in
+  comp.(3) <- Some (Graph.port_to g 3 0);
+  Alcotest.(check bool) "rejects" false (Simple_pls.Spanning.accepts g comp labels)
+
+let test_size_scheme () =
+  let m = marker_for 1201 20 in
+  let t = m.Marker.tree in
+  let labels = Simple_pls.Size.mark t in
+  let parent v = Tree.parent t v in
+  let children v = Tree.children t v in
+  Alcotest.(check bool) "accepts" true
+    (Simple_pls.Size.accepts m.Marker.graph ~parent ~children labels);
+  labels.(3) <- { (labels.(3)) with Simple_pls.Size.claimed_n = 21 };
+  Alcotest.(check bool) "rejects wrong n" false
+    (Simple_pls.Size.accepts m.Marker.graph ~parent ~children labels)
+
+let test_height_scheme () =
+  let m = marker_for 1202 20 in
+  let t = m.Marker.tree in
+  let parent v = Tree.parent t v in
+  let labels = Simple_pls.Height_bound.mark t ~bound:(Tree.height t) in
+  Alcotest.(check bool) "accepts a true bound" true
+    (Simple_pls.Height_bound.accepts m.Marker.graph ~parent labels);
+  let low = Simple_pls.Height_bound.mark t ~bound:(Tree.height t - 1) in
+  Alcotest.(check bool) "rejects an undershot bound" false
+    (Simple_pls.Height_bound.accepts m.Marker.graph ~parent low)
+
+(* ---------------- KKP scheme ---------------- *)
+
+let test_kkp_accepts () =
+  List.iter
+    (fun n ->
+      let m = marker_for (1300 + n) n in
+      let kkp = Kkp_pls.mark m in
+      Alcotest.(check (list int)) (Fmt.str "accepts n=%d" n) []
+        (Kkp_pls.rejecting_nodes kkp))
+    [ 2; 5; 16; 40; 80 ]
+
+let test_kkp_rejects_non_mst () =
+  let st = Gen.rng 1400 in
+  let g = Gen.random_connected st 30 in
+  let flipped =
+    Graph.of_edges ~n:30 (List.map (fun (u, v, w) -> (u, v, 1_000_000 - w)) (Graph.edges g))
+  in
+  let bad = Mst.prim flipped (Graph.plain_weight_fn flipped) in
+  let bad_on_g =
+    Tree.of_parents g
+      (Array.init 30 (fun v -> match Tree.parent bad v with None -> -1 | Some p -> p))
+  in
+  let forged = Marker.forge g bad_on_g in
+  let kkp = Kkp_pls.mark forged in
+  Alcotest.(check bool) "rejects in one round" false (Kkp_pls.accepts kkp)
+
+let test_kkp_detects_piece_corruption () =
+  let m = marker_for 1401 24 in
+  let kkp = Kkp_pls.mark m in
+  (* tamper with one stored piece *)
+  let l = kkp.Kkp_pls.labels.(7) in
+  let j =
+    match
+      Array.to_list l.Kkp_pls.pieces
+      |> List.mapi (fun j p -> (j, p))
+      |> List.find_opt (fun (_, p) -> p <> None)
+    with
+    | Some (j, _) -> j
+    | None -> Alcotest.fail "no piece to corrupt"
+  in
+  l.Kkp_pls.pieces.(j) <-
+    Some
+      {
+        Pieces.root_id = 9999;
+        level = j;
+        weight = Weight.make ~base:1 ~in_tree:false ~id_u:0 ~id_v:1;
+      };
+  Alcotest.(check bool) "detected" false (Kkp_pls.accepts kkp)
+
+(* memory separation: KKP labels grow like log² n, the compact marker's
+   like log n; their ratio must grow with n *)
+let test_memory_separation () =
+  let ratio n =
+    let m = marker_for (1500 + n) n in
+    let kkp = Kkp_pls.mark m in
+    float_of_int (Kkp_pls.max_bits kkp) /. float_of_int m.Marker.label_bits
+  in
+  let r_small = ratio 16 and r_big = ratio 512 in
+  Alcotest.(check bool)
+    (Fmt.str "ratio grows: %.2f -> %.2f" r_small r_big)
+    true (r_big > r_small)
+
+let qcheck_kkp =
+  QCheck.Test.make ~name:"KKP accepts honest labels on random graphs" ~count:25
+    QCheck.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let m = Marker.run (Gen.random_connected st n) in
+      Kkp_pls.accepts (Kkp_pls.mark m))
+
+let suite =
+  [
+    Alcotest.test_case "Example SP scheme" `Quick test_spanning_scheme;
+    Alcotest.test_case "Example SP rejects bad components" `Quick test_spanning_rejects_forest;
+    Alcotest.test_case "Example NumK scheme" `Quick test_size_scheme;
+    Alcotest.test_case "Example EDIAM scheme" `Quick test_height_scheme;
+    Alcotest.test_case "KKP accepts correct instances" `Quick test_kkp_accepts;
+    Alcotest.test_case "KKP rejects a non-MST" `Quick test_kkp_rejects_non_mst;
+    Alcotest.test_case "KKP detects piece corruption" `Quick test_kkp_detects_piece_corruption;
+    Alcotest.test_case "log^2 vs log memory separation" `Quick test_memory_separation;
+    QCheck_alcotest.to_alcotest qcheck_kkp;
+  ]

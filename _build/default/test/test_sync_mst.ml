@@ -1,0 +1,93 @@
+open Ssmst_graph
+open Ssmst_core
+
+let check_is_mst g (r : Sync_mst.result) =
+  let w = Graph.plain_weight_fn g in
+  Alcotest.(check bool) "output is the MST" true (Mst.is_mst g w r.tree)
+
+let test_tiny () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 7) ] in
+  let r = Sync_mst.run g in
+  check_is_mst g r;
+  Alcotest.(check int) "one phase" 1 r.phases
+
+let test_triangle () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1); (1, 2, 2); (0, 2, 3) ] in
+  let r = Sync_mst.run g in
+  check_is_mst g r
+
+let test_families () =
+  let st = Gen.rng 30 in
+  List.iter
+    (fun g -> check_is_mst g (Sync_mst.run g))
+    [
+      Gen.path st 17;
+      Gen.ring st 16;
+      Gen.star st 20;
+      Gen.complete st 12;
+      Gen.grid st 4 5;
+      Gen.binary_tree st 15;
+      Gen.random_connected st 40;
+    ]
+
+let test_hierarchy_valid () =
+  let st = Gen.rng 31 in
+  let g = Gen.random_connected st 32 in
+  let r = Sync_mst.run g in
+  let w = Graph.plain_weight_fn g in
+  Alcotest.(check bool) "hierarchy well formed" true (Fragment.well_formed r.hierarchy);
+  Alcotest.(check bool) "hierarchy minimal" true (Fragment.minimal r.hierarchy w);
+  Alcotest.(check bool) "hierarchy height is logarithmic" true
+    (r.hierarchy.height <= 1 + Ssmst_sim.Memory.of_nat 32)
+
+let test_linear_time () =
+  (* rounds must scale linearly: measure the ratio rounds/n over a sweep *)
+  let st = Gen.rng 32 in
+  let ratio n =
+    let g = Gen.random_connected st n in
+    let r = Sync_mst.run g in
+    float_of_int r.rounds /. float_of_int n
+  in
+  let r64 = ratio 64 and r256 = ratio 256 in
+  Alcotest.(check bool) "rounds/n bounded (O(n) time)" true (r256 <= 2.5 *. r64 +. 50.)
+
+let test_memory_logarithmic () =
+  let st = Gen.rng 33 in
+  let g = Gen.random_connected st 128 in
+  let r = Sync_mst.run g in
+  (* a handful of O(log n) fields: comfortably under, say, 40 * log2 n *)
+  Alcotest.(check bool) "peak bits O(log n)" true
+    (r.peak_bits <= 40 * Ssmst_sim.Memory.of_nat 128)
+
+let test_fragment_sizes () =
+  (* Lemma 4.1: a level-i fragment has at least 2^i members *)
+  let st = Gen.rng 34 in
+  let g = Gen.random_connected st 50 in
+  let r = Sync_mst.run g in
+  Array.iter
+    (fun (f : Fragment.t) ->
+      Alcotest.(check bool) "size >= 2^level" true (Fragment.size f >= 1 lsl min f.level 20
+        || f.index = r.hierarchy.whole))
+    r.hierarchy.frags
+
+let qcheck_sync_mst =
+  QCheck.Test.make ~name:"SYNC_MST computes the unique MST on random graphs" ~count:60
+    QCheck.(pair (int_range 2 48) (int_range 0 10000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let g = Gen.random_connected st n in
+      let r = Sync_mst.run g in
+      Mst.is_mst g (Graph.plain_weight_fn g) r.tree
+      && Fragment.implies_mst r.hierarchy (Graph.plain_weight_fn g))
+
+let suite =
+  [
+    Alcotest.test_case "two nodes" `Quick test_tiny;
+    Alcotest.test_case "triangle" `Quick test_triangle;
+    Alcotest.test_case "standard families" `Quick test_families;
+    Alcotest.test_case "hierarchy validity" `Quick test_hierarchy_valid;
+    Alcotest.test_case "linear time shape" `Slow test_linear_time;
+    Alcotest.test_case "logarithmic memory" `Quick test_memory_logarithmic;
+    Alcotest.test_case "fragment growth (Lemma 4.1)" `Quick test_fragment_sizes;
+    QCheck_alcotest.to_alcotest qcheck_sync_mst;
+  ]

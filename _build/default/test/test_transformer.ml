@@ -1,0 +1,110 @@
+open Ssmst_graph
+open Ssmst_core
+
+let random_graph seed n =
+  let st = Gen.rng seed in
+  Gen.random_connected st n
+
+let test_stabilizes_and_outputs_mst () =
+  List.iter
+    (fun n ->
+      let g = random_graph (1900 + n) n in
+      let t = Transformer.create g in
+      Alcotest.(check bool) (Fmt.str "output is MST n=%d" n) true
+        (Mst.is_mst g (Graph.plain_weight_fn g) (Transformer.tree t));
+      Alcotest.(check int) "one construction" 1 t.Transformer.reconstructions)
+    [ 2; 5; 16; 48 ]
+
+let test_linear_stabilization () =
+  (* O(n) time: stabilization rounds per node bounded across a sweep *)
+  let per_node n =
+    let g = random_graph (1901 + n) n in
+    let t = Transformer.create g in
+    float_of_int (Transformer.stabilization_rounds t) /. float_of_int n
+  in
+  let r64 = per_node 64 and r256 = per_node 256 in
+  Alcotest.(check bool)
+    (Fmt.str "stabilization O(n): %.1f vs %.1f rounds/node" r64 r256)
+    true
+    (r256 <= 2.5 *. r64 +. 30.)
+
+let test_quiescent_when_correct () =
+  let g = random_graph 1902 24 in
+  let t = Transformer.create g in
+  Transformer.advance t ~rounds:500;
+  Alcotest.(check int) "no spurious reconstruction" 1 t.Transformer.reconstructions
+
+let test_detects_and_recovers () =
+  let g = random_graph 1903 32 in
+  let t = Transformer.create g in
+  Transformer.advance t ~rounds:300;
+  let _faults = Transformer.inject_faults t (Gen.rng 1904) ~count:2 in
+  Transformer.advance t ~rounds:4000;
+  (* either the faults were semantically null, or a reconstruction happened
+     and the output is the MST again *)
+  Alcotest.(check bool) "output is the MST after recovery" true
+    (Mst.is_mst g (Graph.plain_weight_fn g) (Transformer.tree t));
+  Transformer.advance t ~rounds:300;
+  let spurious =
+    List.exists
+      (function Transformer.Detected _ -> false | _ -> false)
+      t.Transformer.history
+  in
+  Alcotest.(check bool) "no alarm after recovery" false spurious
+
+let test_detection_recorded () =
+  (* force detectable faults until one registers, then check bookkeeping *)
+  let g = random_graph 1905 32 in
+  let t = Transformer.create g in
+  Transformer.advance t ~rounds:300;
+  let rec try_fault i =
+    if i > 6 then ()
+    else begin
+      ignore (Transformer.inject_faults t (Gen.rng (1906 + i)) ~count:1);
+      Transformer.advance t ~rounds:4000;
+      if t.Transformer.reconstructions < 2 then try_fault (i + 1)
+    end
+  in
+  try_fault 0;
+  Alcotest.(check bool) "a detection was recorded" true (t.Transformer.reconstructions >= 2);
+  let detection =
+    List.find_opt (function Transformer.Detected _ -> true | _ -> false) t.Transformer.history
+  in
+  (match detection with
+  | Some (Transformer.Detected { rounds; _ }) ->
+      (* detection time O(log² n): generous constant on n = 32 *)
+      Alcotest.(check bool) (Fmt.str "detection in %d rounds" rounds) true (rounds <= 3000)
+  | _ -> Alcotest.fail "no Detected event");
+  Alcotest.(check bool) "output is the MST" true
+    (Mst.is_mst g (Graph.plain_weight_fn g) (Transformer.tree t))
+
+let test_async_mode () =
+  let g = random_graph 1907 20 in
+  let t =
+    Transformer.create ~mode:Verifier.Handshake
+      ~daemon:(Ssmst_sim.Scheduler.Async_random (Gen.rng 1908))
+      g
+  in
+  Transformer.advance t ~rounds:500;
+  Alcotest.(check int) "quiescent under async daemon" 1 t.Transformer.reconstructions;
+  Alcotest.(check bool) "async output is MST" true
+    (Mst.is_mst g (Graph.plain_weight_fn g) (Transformer.tree t))
+
+let test_memory () =
+  let g = random_graph 1909 128 in
+  let t = Transformer.create g in
+  Transformer.advance t ~rounds:200;
+  let bits = Transformer.memory_bits t in
+  Alcotest.(check bool) (Fmt.str "bits=%d is O(log n)" bits) true
+    (bits <= 160 * Ssmst_sim.Memory.of_nat 128 + 400)
+
+let suite =
+  [
+    Alcotest.test_case "stabilizes to the MST" `Quick test_stabilizes_and_outputs_mst;
+    Alcotest.test_case "stabilization time O(n)" `Slow test_linear_stabilization;
+    Alcotest.test_case "quiescent on correct output" `Quick test_quiescent_when_correct;
+    Alcotest.test_case "detects faults and recovers" `Quick test_detects_and_recovers;
+    Alcotest.test_case "detection bookkeeping" `Quick test_detection_recorded;
+    Alcotest.test_case "asynchronous mode" `Quick test_async_mode;
+    Alcotest.test_case "memory O(log n)" `Quick test_memory;
+  ]

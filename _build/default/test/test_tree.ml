@@ -1,0 +1,85 @@
+open Ssmst_graph
+
+(* A small fixed graph: path 0-1-2-3 plus chord 0-3. *)
+let g () = Graph.of_edges ~n:4 [ (0, 1, 1); (1, 2, 2); (2, 3, 3); (0, 3, 9) ]
+
+let test_of_parents () =
+  let t = Tree.of_parents (g ()) [| -1; 0; 1; 2 |] in
+  Alcotest.(check int) "root" 0 (Tree.root t);
+  Alcotest.(check (option int)) "parent" (Some 1) (Tree.parent t 2);
+  Alcotest.(check (list int)) "children" [ 1 ] (Tree.children t 0);
+  Alcotest.(check int) "depth" 3 (Tree.depth t 3);
+  Alcotest.(check int) "height" 3 (Tree.height t)
+
+let test_components_round_trip () =
+  let g = g () in
+  let t = Tree.of_parents g [| -1; 0; 1; 2 |] in
+  let c = Tree.to_components t in
+  let t' = Tree.of_components g c in
+  Alcotest.(check int) "same root" (Tree.root t) (Tree.root t');
+  Alcotest.(check (list (pair int int)))
+    "same edges"
+    (List.sort compare (Tree.tree_edges t))
+    (List.sort compare (Tree.tree_edges t'))
+
+let test_mutual_pointers () =
+  let g = g () in
+  (* 0 and 1 point at each other: root goes to the higher-identity one *)
+  let c =
+    [|
+      Some (Graph.port_to g 0 1);
+      Some (Graph.port_to g 1 0);
+      Some (Graph.port_to g 2 1);
+      Some (Graph.port_to g 3 2);
+    |]
+  in
+  let t = Tree.of_components g c in
+  Alcotest.(check int) "root is higher id of the pair" 1 (Tree.root t)
+
+let test_non_spanning_rejected () =
+  let g = g () in
+  let raises c = try ignore (Tree.of_components g c); false with Graph.Malformed _ -> true in
+  (* a 2-cycle among 0,1 and another among 2,3 does not span *)
+  Alcotest.(check bool) "two mutual pairs rejected" true
+    (raises
+       [|
+         Some (Graph.port_to g 0 1);
+         Some (Graph.port_to g 1 0);
+         Some (Graph.port_to g 2 3);
+         Some (Graph.port_to g 3 2);
+       |]);
+  Alcotest.(check bool) "two pointerless nodes rejected" true
+    (raises [| None; Some (Graph.port_to g 1 0); Some (Graph.port_to g 2 1); None |])
+
+let test_dfs_and_sizes () =
+  let g = Graph.of_edges ~n:5 [ (0, 1, 1); (0, 2, 2); (1, 3, 3); (1, 4, 4) ] in
+  let t = Tree.of_parents g [| -1; 0; 0; 1; 1 |] in
+  Alcotest.(check (list int)) "dfs preorder" [ 0; 1; 3; 4; 2 ] (Tree.dfs_order t);
+  Alcotest.(check (array int)) "subtree sizes" [| 5; 3; 1; 1; 1 |] (Tree.subtree_sizes t)
+
+let test_total_weight () =
+  let t = Tree.of_parents (g ()) [| -1; 0; 1; 2 |] in
+  Alcotest.(check int) "sum of tree weights" 6 (Tree.total_base_weight t)
+
+let qcheck_components_inverse =
+  QCheck.Test.make ~name:"to_components/of_components is the identity on trees" ~count:100
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let st = Gen.rng (n * 7 + 1) in
+      let g = Gen.random_connected st n in
+      let w = Graph.plain_weight_fn g in
+      let t = Mst.prim g w in
+      let t' = Tree.of_components g (Tree.to_components t) in
+      List.sort compare (Tree.tree_edges t) = List.sort compare (Tree.tree_edges t')
+      && Tree.root t = Tree.root t')
+
+let suite =
+  [
+    Alcotest.test_case "of_parents" `Quick test_of_parents;
+    Alcotest.test_case "components round trip" `Quick test_components_round_trip;
+    Alcotest.test_case "mutual pointers rooting" `Quick test_mutual_pointers;
+    Alcotest.test_case "non-spanning rejected" `Quick test_non_spanning_rejected;
+    Alcotest.test_case "dfs order and subtree sizes" `Quick test_dfs_and_sizes;
+    Alcotest.test_case "total weight" `Quick test_total_weight;
+    QCheck_alcotest.to_alcotest qcheck_components_inverse;
+  ]

@@ -1,0 +1,165 @@
+open Ssmst_graph
+open Ssmst_sim
+open Ssmst_core
+
+let mk_verifier mode marker =
+  let module C = struct
+    let marker = marker
+    let mode = mode
+  end in
+  (module Verifier.Make (C) : Protocol.S with type state = Verifier.state)
+
+let run_net mode marker daemon ~rounds =
+  let module P = (val mk_verifier mode marker) in
+  let module Net = Network.Make (P) in
+  let net = Net.create marker.Marker.graph in
+  Net.run net daemon ~rounds;
+  Net.any_alarm net
+
+let marker_for seed n =
+  let st = Gen.rng seed in
+  Marker.run (Gen.random_connected st n)
+
+(* soundness: the marker's own output is accepted forever *)
+let test_accept_sync () =
+  List.iter
+    (fun n ->
+      let m = marker_for (500 + n) n in
+      Alcotest.(check bool) (Fmt.str "no alarm sync n=%d" n) false
+        (run_net Verifier.Passive m Scheduler.Sync ~rounds:600))
+    [ 2; 3; 5; 9; 16; 33; 64 ]
+
+let test_accept_async () =
+  List.iter
+    (fun n ->
+      let m = marker_for (600 + n) n in
+      Alcotest.(check bool) (Fmt.str "no alarm async n=%d" n) false
+        (run_net Verifier.Handshake m (Scheduler.Async_random (Gen.rng n)) ~rounds:800))
+    [ 2; 5; 16; 40 ]
+
+let test_accept_families () =
+  let st = Gen.rng 601 in
+  List.iter
+    (fun g ->
+      let m = Marker.run g in
+      Alcotest.(check bool) "no alarm on family" false
+        (run_net Verifier.Passive m Scheduler.Sync ~rounds:600))
+    [ Gen.path st 24; Gen.star st 24; Gen.grid st 5 5; Gen.complete st 12; Gen.ring st 20 ]
+
+(* completeness: injected label corruption is detected *)
+let detection_rounds mode daemon marker seed ~count =
+  let module P = (val mk_verifier mode marker) in
+  let module Net = Network.Make (P) in
+  let net = Net.create marker.Marker.graph in
+  (* let the verifier settle first, and make sure it accepts *)
+  Net.run net daemon ~rounds:400;
+  if Net.any_alarm net then Alcotest.fail "alarm before fault injection";
+  let faults = Net.inject_faults net (Gen.rng seed) ~count in
+  let dt = Net.detection_time net daemon ~max_rounds:4000 in
+  (dt, faults, Net.detection_distance net ~faults)
+
+let test_detect_corruption_sync () =
+  let detected = ref 0 and total = 8 in
+  for i = 1 to total do
+    let m = marker_for (700 + i) 32 in
+    match detection_rounds Verifier.Passive Scheduler.Sync m (900 + i) ~count:1 with
+    | Some _, _, _ -> incr detected
+    | None, _, _ -> ()
+  done;
+  (* random corruptions can be semantically null (e.g. a train-register
+     perturbation absorbed by self-stabilization); the persistent-label
+     corruptions must overwhelmingly be caught *)
+  Alcotest.(check bool) (Fmt.str "detected %d/%d" !detected total) true (!detected >= 6)
+
+let test_detect_corruption_async () =
+  let detected = ref 0 and total = 6 in
+  for i = 1 to total do
+    let m = marker_for (800 + i) 24 in
+    match
+      detection_rounds Verifier.Handshake
+        (Scheduler.Async_random (Gen.rng (850 + i)))
+        m (950 + i) ~count:1
+    with
+    | Some _, _, _ -> incr detected
+    | None, _, _ -> ()
+  done;
+  Alcotest.(check bool) (Fmt.str "detected %d/%d" !detected total) true (!detected >= 4)
+
+(* a tree that is NOT the MST, with labels crafted by running the honest
+   marker pipeline on it, must be rejected (Lemma 8.4) *)
+let test_detect_non_mst () =
+  let st = Gen.rng 990 in
+  let g = Gen.random_connected st 24 in
+  let w = Graph.plain_weight_fn g in
+  (* build a deliberately non-minimal spanning tree: maximum spanning tree *)
+  let flipped =
+    Graph.of_edges ~n:(Graph.n g)
+      (List.map (fun (u, v, wt) -> (u, v, 1_000_000 - wt)) (Graph.edges g))
+  in
+  let bad_tree = Mst.prim flipped (Graph.plain_weight_fn flipped) in
+  Alcotest.(check bool) "the flipped tree is not the MST" false
+    (Mst.edge_set_of_tree bad_tree = List.sort compare (Mst.kruskal g w));
+  (* strongest adversary: honest labels for the bad tree, real weights *)
+  let bad_on_g =
+    Tree.of_parents g
+      (Array.init (Graph.n g) (fun v ->
+           match Tree.parent bad_tree v with None -> -1 | Some p -> p))
+  in
+  let forged = Marker.forge g bad_on_g in
+  let module C = struct
+    let marker = forged
+    let mode = Verifier.Passive
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let net = Net.create g in
+  let _, detected = Net.run_until net Scheduler.Sync ~max_rounds:4000 Net.any_alarm in
+  Alcotest.(check bool) "non-MST rejected" true detected
+
+(* detection distance: alarms appear near the faults (O(f log n) locality) *)
+let test_detection_distance () =
+  let m = marker_for 1000 64 in
+  match detection_rounds Verifier.Passive Scheduler.Sync m 1001 ~count:1 with
+  | Some _, _faults, Some d ->
+      let bound = 8 * (Memory.of_nat 64 + 1) in
+      Alcotest.(check bool) (Fmt.str "distance %d within O(log n)=%d" d bound) true (d <= bound)
+  | Some _, _, None -> Alcotest.fail "no alarming node"
+  | None, _, _ -> () (* corruption semantically null; nothing to measure *)
+
+(* memory: the verifier state is O(log n) bits per node *)
+let test_memory () =
+  List.iter
+    (fun n ->
+      let m = marker_for (1100 + n) n in
+      let module P = (val mk_verifier Verifier.Passive m) in
+      let module Net = Network.Make (P) in
+      let net = Net.create m.Marker.graph in
+      Net.run net Scheduler.Sync ~rounds:100;
+      let bits = Net.peak_bits net in
+      let logn = Memory.of_nat n in
+      Alcotest.(check bool)
+        (Fmt.str "bits=%d vs c*logn (n=%d)" bits n)
+        true
+        (bits <= 160 * logn + 400))
+    [ 16; 64; 256 ]
+
+let qcheck_accept =
+  QCheck.Test.make ~name:"verifier accepts honest marker output" ~count:15
+    QCheck.(pair (int_range 2 48) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Gen.rng seed in
+      let m = Marker.run (Gen.random_connected st n) in
+      not (run_net Verifier.Passive m Scheduler.Sync ~rounds:500))
+
+let suite =
+  [
+    Alcotest.test_case "accepts correct instances (sync)" `Quick test_accept_sync;
+    Alcotest.test_case "accepts correct instances (async)" `Quick test_accept_async;
+    Alcotest.test_case "accepts across families" `Quick test_accept_families;
+    Alcotest.test_case "detects corruption (sync)" `Quick test_detect_corruption_sync;
+    Alcotest.test_case "detects corruption (async)" `Quick test_detect_corruption_async;
+    Alcotest.test_case "rejects a non-MST with forged labels" `Quick test_detect_non_mst;
+    Alcotest.test_case "detection distance is local" `Quick test_detection_distance;
+    Alcotest.test_case "memory is O(log n)" `Quick test_memory;
+    QCheck_alcotest.to_alcotest qcheck_accept;
+  ]

@@ -1,0 +1,56 @@
+open Ssmst_graph
+
+let check = Alcotest.(check bool)
+
+let test_order () =
+  let w1 = Weight.make ~base:3 ~in_tree:true ~id_u:1 ~id_v:2 in
+  let w2 = Weight.make ~base:3 ~in_tree:false ~id_u:1 ~id_v:2 in
+  let w3 = Weight.make ~base:4 ~in_tree:true ~id_u:0 ~id_v:1 in
+  check "tree edge wins ties" true Weight.(w1 < w2);
+  check "base weight dominates" true Weight.(w2 < w3);
+  check "irreflexive" false Weight.(w1 < w1);
+  check "equal" true (Weight.equal w1 w1)
+
+let test_id_tiebreak () =
+  let a = Weight.make ~base:5 ~in_tree:false ~id_u:1 ~id_v:9 in
+  let b = Weight.make ~base:5 ~in_tree:false ~id_u:2 ~id_v:3 in
+  check "id_min breaks ties" true Weight.(a < b);
+  let c = Weight.make ~base:5 ~in_tree:false ~id_u:1 ~id_v:4 in
+  check "id_max breaks remaining ties" true Weight.(c < a)
+
+let test_infinity () =
+  let w = Weight.make ~base:1000000 ~in_tree:false ~id_u:5 ~id_v:6 in
+  check "finite < infinity" true Weight.(w < Weight.infinity);
+  check "is_infinity" true (Weight.is_infinity Weight.infinity);
+  check "not is_infinity" false (Weight.is_infinity w)
+
+let test_bits () =
+  let small = Weight.make ~base:2 ~in_tree:true ~id_u:3 ~id_v:7 in
+  let big = Weight.make ~base:(1 lsl 40) ~in_tree:true ~id_u:3 ~id_v:7 in
+  Alcotest.(check bool) "bits positive" true (Weight.bits small > 0);
+  Alcotest.(check bool) "bits grows with magnitude" true (Weight.bits big > Weight.bits small)
+
+let qcheck_total_order =
+  QCheck.Test.make ~name:"weight compare is a total order (antisymmetry + transitivity)"
+    ~count:500
+    QCheck.(triple (pair small_nat small_nat) (pair small_nat small_nat) (pair small_nat small_nat))
+    (fun ((b1, i1), (b2, i2), (b3, i3)) ->
+      let mk b i = Weight.make ~base:b ~in_tree:(i mod 2 = 0) ~id_u:i ~id_v:(i + 1) in
+      let w1 = mk b1 i1 and w2 = mk b2 i2 and w3 = mk b3 i3 in
+      let c12 = Weight.compare w1 w2 and c21 = Weight.compare w2 w1 in
+      let anti = compare c12 0 = compare 0 c21 in
+      let trans =
+        if Weight.compare w1 w2 <= 0 && Weight.compare w2 w3 <= 0 then
+          Weight.compare w1 w3 <= 0
+        else true
+      in
+      anti && trans)
+
+let suite =
+  [
+    Alcotest.test_case "lexicographic order" `Quick test_order;
+    Alcotest.test_case "identity tie-break" `Quick test_id_tiebreak;
+    Alcotest.test_case "infinity" `Quick test_infinity;
+    Alcotest.test_case "bit accounting" `Quick test_bits;
+    QCheck_alcotest.to_alcotest qcheck_total_order;
+  ]
