@@ -4,6 +4,7 @@
      construct  build the MST + proof labels for a generated network
      verify     run the self-stabilizing verifier, optionally inject faults
      stabilize  run the transformer scenario (construct/verify/repair loop)
+     trace      fault-injection run emitting a JSONL event trace
      labels     print the Roots/EndP/Parents/Or-EndP strings of an instance
      compare    compare construction algorithms on one instance *)
 
@@ -117,6 +118,46 @@ let stabilize family n seed faults async_ =
     t.Transformer.reconstructions t.Transformer.total_rounds (Transformer.memory_bits t);
   0
 
+(* ---------------- trace ---------------- *)
+
+(* Settle the verifier (untraced), attach a trace, inject faults, run to
+   detection; emit the events as JSONL.  The trace therefore opens at the
+   injection and is guaranteed to retain the fault-injected and
+   alarm-raised events of the run. *)
+let trace_run family n seed faults async_ out capacity =
+  if capacity <= 0 then begin
+    Fmt.epr "msst trace: --capacity must be positive (got %d)@." capacity;
+    exit 2
+  end;
+  let g = make_graph family n seed in
+  let m = Marker.run g in
+  let mode = if async_ then Verifier.Handshake else Verifier.Passive in
+  let daemon = if async_ then Scheduler.Async_random (Gen.rng (seed + 1)) else Scheduler.Sync in
+  let module C = struct
+    let marker = m
+    let mode = mode
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let net = Net.create g in
+  Net.run net daemon ~rounds:(8 * Verifier.window_bound m.labels.(0));
+  Fmt.epr "settled after %d rounds; alarms: %b (must be false)@." (Net.rounds net)
+    (Net.any_alarm net);
+  let tr = Trace.create ~capacity () in
+  Net.attach_trace net tr;
+  let fs = Net.inject_faults net (Gen.rng (seed + 2)) ~count:faults in
+  Fmt.epr "injected %d fault(s) at %a@." (List.length fs) Fmt.(list ~sep:comma int) fs;
+  (match Net.detection_time net daemon ~max_rounds:200000 with
+  | Some dt -> Fmt.epr "detected after %d rounds@." dt
+  | None -> Fmt.epr "no detection (the corruption was semantically null)@.");
+  let oc, close = match out with None -> (stdout, false) | Some f -> (open_out f, true) in
+  Trace.write_jsonl oc tr;
+  if close then close_out oc else flush oc;
+  Fmt.epr "trace: %d events emitted (%d recorded, %d dropped by the ring buffer)@."
+    (Trace.length tr) (Trace.total tr) (Trace.dropped tr);
+  Fmt.epr "metrics: %a@." Metrics.pp (Net.metrics net);
+  0
+
 (* ---------------- labels ---------------- *)
 
 let labels family n seed =
@@ -189,6 +230,27 @@ let stabilize_cmd =
     (Cmd.info "stabilize" ~doc:"Run the transformer-based self-stabilizing MST scenario.")
     Term.(const stabilize $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg)
 
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the JSONL trace to $(docv) instead of stdout.")
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt int Trace.default_capacity
+    & info [ "capacity" ] ~docv:"K" ~doc:"Ring-buffer capacity (oldest events are dropped beyond it).")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a fault-injection scenario on the verifier and emit the engine's event trace \
+          as JSON lines (one event per line); diagnostics go to stderr.")
+    Term.(const trace_run $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg $ out_arg
+          $ capacity_arg)
+
 let labels_cmd =
   Cmd.v
     (Cmd.info "labels" ~doc:"Print the Section 5 label strings of an instance.")
@@ -205,4 +267,4 @@ let () =
     Cmd.info "msst" ~version:"1.0.0"
       ~doc:"Fast and compact self-stabilizing verification, computation and fault detection of an MST"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ construct_cmd; verify_cmd; stabilize_cmd; labels_cmd; compare_cmdliner ]))
+  exit (Cmd.eval' (Cmd.group ~default info [ construct_cmd; verify_cmd; stabilize_cmd; trace_cmd; labels_cmd; compare_cmdliner ]))

@@ -480,6 +480,17 @@ module Make (C : CONFIG) = struct
 
   let alarm s = s.alarm
 
+  (* the register is pure data (label + trains + comparison module), so
+     structural equality is register equality.  Compare the frequently
+     changing working state first and the large, almost always physically
+     shared label last, with physical-equality fast paths ([=] alone would
+     deep-compare the whole label every activation). *)
+  let equal (a : state) (b : state) =
+    a == b
+    || (a.alarm = b.alarm && a.cmp = b.cmp && a.train_top = b.train_top
+       && a.train_bot = b.train_bot
+       && (a.label == b.label || a.label = b.label))
+
   (* Names of the structural checks node [v] currently violates (diagnostic
      aid for tests and the CLI). *)
   let diagnose g v (s : state) read =

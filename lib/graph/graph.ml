@@ -14,7 +14,19 @@ type t = {
   n : int;
   ids : int array;
   adj : half_edge array array;
+  (* per-node peer -> port index, built once at construction: turns
+     [has_edge] / [port_to] / [base_weight] from O(deg) scans into O(1)
+     lookups (every protocol read goes through one of them) *)
+  index : (int, int) Hashtbl.t array;
 }
+
+let build_index adj =
+  Array.map
+    (fun ports ->
+      let h = Hashtbl.create (max 4 (Array.length ports)) in
+      Array.iteri (fun p (he : half_edge) -> Hashtbl.replace h he.peer p) ports;
+      h)
+    adj
 
 let n t = t.n
 let id t v = t.ids.(v)
@@ -78,11 +90,12 @@ let of_edges ?ids ~n edge_list =
       adj.(v).(fill.(v)) <- { peer = u; base_weight = w };
       fill.(v) <- fill.(v) + 1)
     edge_list;
-  { n; ids; adj }
+  { n; ids; adj; index = build_index adj }
 
 (* Same topology, identities and port numbers, new weights: the operation a
    link re-pricing performs.  [f u v w] gives the new weight of edge (u,v)
-   with current weight [w]. *)
+   with current weight [w].  The peer->port index is shared: it only depends
+   on the topology. *)
 let reweight t f =
   {
     t with
@@ -93,21 +106,18 @@ let reweight t f =
         t.adj;
   }
 
-let has_edge t u v = Array.exists (fun h -> h.peer = v) t.adj.(u)
+let has_edge t u v = Hashtbl.mem t.index.(u) v
 
 let base_weight t u v =
-  match Array.find_opt (fun h -> h.peer = v) t.adj.(u) with
-  | Some h -> h.base_weight
+  match Hashtbl.find_opt t.index.(u) v with
+  | Some p -> t.adj.(u).(p).base_weight
   | None -> invalid_arg "Graph.base_weight: no such edge"
 
 (* Port number at [u] of the edge leading to [v]. *)
 let port_to t u v =
-  let rec go p =
-    if p >= degree t u then invalid_arg "Graph.port_to: no such edge"
-    else if t.adj.(u).(p).peer = v then p
-    else go (p + 1)
-  in
-  go 0
+  match Hashtbl.find_opt t.index.(u) v with
+  | Some p -> p
+  | None -> invalid_arg "Graph.port_to: no such edge"
 
 let peer_at t u port = t.adj.(u).(port).peer
 

@@ -43,12 +43,14 @@ val ports : t -> int -> half_edge array
 (** The incident edges of a node, indexed by port number. *)
 
 val port_to : t -> int -> int -> int
-(** [port_to g u v] is the port number at [u] of the edge to [v]. *)
+(** [port_to g u v] is the port number at [u] of the edge to [v].  O(1) via
+    the per-node peer index built at construction. *)
 
 val peer_at : t -> int -> int -> int
 (** [peer_at g u p] is the node at the other end of [u]'s port [p]. *)
 
 val has_edge : t -> int -> int -> bool
+(** O(1) via the per-node peer index built at construction. *)
 
 val base_weight : t -> int -> int -> int
 (** The base weight of an existing edge. *)

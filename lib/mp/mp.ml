@@ -134,6 +134,11 @@ module Emulate (M : MESSAGE_PROTOCOL) = struct
 
   let alarm _ = false
 
+  (* states are pure data (records, arrays, lists over M.state / M.message,
+     which MESSAGE_PROTOCOL instantiations keep functional-value-free), so
+     structural equality is register equality *)
+  let equal (a : state) (b : state) = a = b
+
   let bits (s : state) =
     M.state_bits s.inner
     + Array.fold_left

@@ -42,6 +42,8 @@ module Make (C : CONFIG) = struct
 
   let alarm s = s.alarm
 
+  let equal (a : state) (b : state) = a = b
+
   let bits s = Kkp_pls.bits s.label + 1
 
   let corrupt st g v (s : state) =

@@ -93,6 +93,8 @@ module Make (C : CONFIG) = struct
 
   let alarm _ = false
 
+  let equal (a : state) (b : state) = a = b
+
   let bits s =
     Memory.of_int s.parent + Memory.of_nat s.seq + 2 + Memory.of_int s.echo
     + Memory.of_int s.value

@@ -62,6 +62,10 @@ module Make (App : Protocol.S) = struct
 
   let alarm _ = false (* alarms are consumed as reset requests *)
 
+  let equal (a : state) (b : state) =
+    a.epoch = b.epoch && a.request = b.request && Ss_bfs.P.equal a.bfs b.bfs
+    && App.equal a.app b.app
+
   let bits s =
     Ss_bfs.P.bits s.bfs + Memory.of_nat s.epoch + 1 + App.bits s.app
 

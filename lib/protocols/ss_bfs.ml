@@ -44,6 +44,8 @@ module P = struct
 
   let alarm _ = false
 
+  let equal (a : state) (b : state) = a = b
+
   let bits s = Memory.of_int s.leader + Memory.of_int s.dist + Memory.of_int s.parent
 
   let corrupt st g _v _s =

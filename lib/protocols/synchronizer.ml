@@ -49,6 +49,9 @@ module Make (P : Protocol.S) = struct
 
   let alarm s = P.alarm s.cur
 
+  let equal (a : state) (b : state) =
+    a.pulse = b.pulse && P.equal a.cur b.cur && P.equal a.prev b.prev
+
   let bits s = Memory.of_nat s.pulse + P.bits s.cur + P.bits s.prev
 
   let corrupt st g v s = { s with cur = P.corrupt st g v s.cur }

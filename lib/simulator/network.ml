@@ -1,9 +1,30 @@
 open Ssmst_graph
 
 (* Executing a protocol over a graph under a daemon, with round counting,
-   alarm observation, fault injection and memory accounting. *)
+   alarm observation, fault injection, memory accounting and (in the
+   event-driven engine) tracing and work metrics.
 
-module Make (P : Protocol.S) = struct
+   Two engines share one ideal-time semantics:
+
+   - {!Naive} re-steps every node every round, exactly as the paper's model
+     reads.  It is the reference oracle for differential tests and costs
+     O(sum deg) protocol steps per round regardless of activity.
+
+   - {!Make} is the event-driven engine: it maintains a dirty set and steps
+     a node only if the node itself or one of its neighbours changed since
+     the node's last no-op step.  Because [Protocol.S.step] is deterministic
+     in its inputs, a clean node's step is provably a no-op, so skipping it
+     preserves the semantics bit-for-bit — states and round counts are
+     identical to {!Naive} under every daemon (the daemons' RNG is consumed
+     identically).  Self-stabilizing protocols are quiescent almost
+     everywhere after convergence, so [run_until] loops cost work
+     proportional to actual state churn instead of O(rounds * sum deg). *)
+
+(* ------------------------------------------------------------------ *)
+(* The naive reference engine                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Naive (P : Protocol.S) = struct
   type t = {
     graph : Graph.t;
     mutable states : P.state array;
@@ -97,6 +118,275 @@ module Make (P : Protocol.S) = struct
     Hashtbl.fold
       (fun v () acc ->
         t.states.(v) <- P.corrupt st t.graph v t.states.(v);
+        v :: acc)
+      chosen []
+
+  (* Max hop distance from any fault to the closest alarming node: the
+     paper's detection distance (Section 2.4). *)
+  let detection_distance t ~faults =
+    let alarms = alarming_nodes t in
+    match alarms with
+    | [] -> None
+    | _ ->
+        let worst = ref 0 in
+        List.iter
+          (fun f ->
+            let d = Dist.bfs t.graph f in
+            let closest =
+              List.fold_left (fun acc a -> min acc (if d.(a) < 0 then max_int else d.(a))) max_int alarms
+            in
+            if closest > !worst then worst := closest)
+          faults;
+        Some !worst
+end
+
+(* ------------------------------------------------------------------ *)
+(* The event-driven engine                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Make (P : Protocol.S) = struct
+  type t = {
+    graph : Graph.t;
+    states : P.state array;  (* live registers; mutate via [set_state] only *)
+    mutable rounds : int;  (* ideal time elapsed *)
+    mutable peak_bits : int;
+    (* dirty set: [dirty.(v)] iff v's next step may change its register.
+       [frontier] lists every dirty node (plus stale entries whose flag was
+       cleared since insertion; consumers filter on the flag). *)
+    dirty : bool array;
+    mutable frontier : int list;
+    (* incremental alarm tracking: [alarm_flags.(v)] mirrors
+       [P.alarm states.(v)]; [alarm_count] counts set flags. *)
+    alarm_flags : bool array;
+    mutable alarm_count : int;
+    metrics : Metrics.t;
+    mutable trace : Trace.t option;
+  }
+
+  let mark_dirty t v =
+    if not t.dirty.(v) then begin
+      t.dirty.(v) <- true;
+      t.frontier <- v :: t.frontier
+    end
+
+  (* A changed register invalidates the node's own next step and every
+     neighbour's. *)
+  let dirty_neighbourhood t v =
+    mark_dirty t v;
+    Array.iter (fun (h : Graph.half_edge) -> mark_dirty t h.peer) (Graph.ports t.graph v)
+
+  let emit t e = match t.trace with None -> () | Some tr -> Trace.record tr e
+
+  let create ?trace graph =
+    let n = Graph.n graph in
+    let states = Array.init n (P.init graph) in
+    let alarm_flags = Array.map P.alarm states in
+    let peak = Array.fold_left (fun acc s -> max acc (P.bits s)) 0 states in
+    let t =
+      {
+        graph;
+        states;
+        rounds = 0;
+        peak_bits = peak;
+        dirty = Array.make n true;
+        frontier = List.init n Fun.id;
+        alarm_flags;
+        alarm_count = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alarm_flags;
+        metrics = Metrics.create ();
+        trace;
+      }
+    in
+    t.metrics.Metrics.peak_bits <- peak;
+    t
+
+  let graph t = t.graph
+  let state t v = t.states.(v)
+  let states t = t.states
+  let rounds t = t.rounds
+  let metrics t = t.metrics
+  let trace t = t.trace
+  let attach_trace t tr = t.trace <- Some tr
+  let detach_trace t = t.trace <- None
+
+  (* The single register-write path: every state mutation funnels through
+     here so that peak-bits, alarm counts, metrics and the trace stay
+     consistent without any per-round O(n) rescans. *)
+  let apply_write t ~round v s' =
+    t.states.(v) <- s';
+    let b = P.bits s' in
+    if b > t.peak_bits then t.peak_bits <- b;
+    if b > t.metrics.Metrics.peak_bits then t.metrics.Metrics.peak_bits <- b;
+    t.metrics.Metrics.register_writes <- t.metrics.Metrics.register_writes + 1;
+    t.metrics.Metrics.last_write_round <- round;
+    emit t (Trace.Register_write { round; node = v; bits = b });
+    let was = t.alarm_flags.(v) and now = P.alarm s' in
+    if was <> now then begin
+      t.alarm_flags.(v) <- now;
+      if now then begin
+        t.alarm_count <- t.alarm_count + 1;
+        t.metrics.Metrics.alarms_raised <- t.metrics.Metrics.alarms_raised + 1;
+        emit t (Trace.Alarm_raised { round; node = v })
+      end
+      else begin
+        t.alarm_count <- t.alarm_count - 1;
+        t.metrics.Metrics.alarms_cleared <- t.metrics.Metrics.alarms_cleared + 1;
+        emit t (Trace.Alarm_cleared { round; node = v })
+      end
+    end
+
+  let set_state t v s =
+    apply_write t ~round:t.rounds v s;
+    dirty_neighbourhood t v
+
+  (* Kept for API compatibility; peak bits are maintained incrementally so
+     this is only a (re)scan safety net. *)
+  let record_memory t =
+    Array.iter (fun s -> if P.bits s > t.peak_bits then t.peak_bits <- P.bits s) t.states
+
+  let peak_bits t = t.peak_bits
+
+  (* One synchronous round: the dirty nodes step on a snapshot (writes are
+     deferred, so [t.states] *is* the snapshot); clean nodes provably
+     wouldn't change and are skipped. *)
+  let sync_round t =
+    let round = t.rounds + 1 in
+    (* drain the frontier, deduping on the flag *)
+    let members =
+      List.filter
+        (fun v ->
+          if t.dirty.(v) then begin
+            t.dirty.(v) <- false;
+            true
+          end
+          else false)
+        t.frontier
+    in
+    t.frontier <- [];
+    let snapshot = t.states in
+    let read v u =
+      if not (Graph.has_edge t.graph v u) then
+        invalid_arg "Network.step: reading a non-neighbour"
+      else snapshot.(u)
+    in
+    let writes =
+      List.fold_left
+        (fun acc v ->
+          t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
+          emit t (Trace.Activation { round; node = v });
+          let s' = P.step t.graph v snapshot.(v) (read v) in
+          if P.equal s' snapshot.(v) then begin
+            t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1;
+            acc
+          end
+          else (v, s') :: acc)
+        [] members
+    in
+    t.metrics.Metrics.skipped_activations <-
+      t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
+    t.rounds <- round;
+    t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    List.iter
+      (fun (v, s') ->
+        apply_write t ~round v s';
+        dirty_neighbourhood t v)
+      writes
+
+  (* Compact the frontier after an async round: within-round flag churn
+     leaves stale entries behind; without compaction they would accumulate
+     across rounds. *)
+  let compact t =
+    let live =
+      List.filter
+        (fun v ->
+          if t.dirty.(v) then begin
+            t.dirty.(v) <- false;
+            true
+          end
+          else false)
+        t.frontier
+    in
+    List.iter (fun v -> t.dirty.(v) <- true) live;
+    t.frontier <- live
+
+  (* One asynchronous round under a fair daemon: the schedule is drawn
+     exactly as in {!Naive} (same RNG consumption); scheduled clean nodes
+     are skipped as no-ops, dirty ones fire and read fresh registers. *)
+  let async_round t daemon =
+    let round = t.rounds + 1 in
+    let schedule = Scheduler.round_schedule daemon (Graph.n t.graph) in
+    List.iter
+      (fun v ->
+        if t.dirty.(v) then begin
+          t.dirty.(v) <- false;
+          t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
+          emit t (Trace.Activation { round; node = v });
+          let read u =
+            if not (Graph.has_edge t.graph v u) then
+              invalid_arg "Network.step: reading a non-neighbour"
+            else t.states.(u)
+          in
+          let s' = P.step t.graph v t.states.(v) read in
+          if P.equal s' t.states.(v) then
+            t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1
+          else begin
+            apply_write t ~round v s';
+            dirty_neighbourhood t v
+          end
+        end
+        else
+          t.metrics.Metrics.skipped_activations <- t.metrics.Metrics.skipped_activations + 1)
+      schedule;
+    t.rounds <- round;
+    t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    compact t
+
+  let round t daemon = if Scheduler.is_sync daemon then sync_round t else async_round t daemon
+
+  let run t daemon ~rounds =
+    for _ = 1 to rounds do
+      round t daemon
+    done
+
+  let any_alarm t = t.alarm_count > 0
+
+  let alarming_nodes t =
+    let acc = ref [] in
+    Array.iteri (fun v a -> if a then acc := v :: !acc) t.alarm_flags;
+    !acc
+
+  (* Run until [stop] holds or [max_rounds] elapse; returns the number of
+     rounds executed and whether [stop] was reached.  Emits a
+     {!Trace.Convergence} event at the stopping point. *)
+  let run_until t daemon ~max_rounds stop =
+    let executed = ref 0 and reached = ref (stop t) in
+    while (not !reached) && !executed < max_rounds do
+      round t daemon;
+      incr executed;
+      reached := stop t
+    done;
+    emit t (Trace.Convergence { round = t.rounds; reached = !reached });
+    (!executed, !reached)
+
+  (* Rounds until the first alarm, or [None] if none within [max_rounds]. *)
+  let detection_time t daemon ~max_rounds =
+    let executed, reached = run_until t daemon ~max_rounds any_alarm in
+    if reached then Some executed else None
+
+  (* Corrupt [count] distinct random nodes; returns the list of faulty
+     nodes.  Consumes the RNG exactly as {!Naive.inject_faults} does. *)
+  let inject_faults t st ~count =
+    let n = Graph.n t.graph in
+    let chosen = Hashtbl.create count in
+    while Hashtbl.length chosen < min count n do
+      Hashtbl.replace chosen (Random.State.int st n) ()
+    done;
+    Hashtbl.fold
+      (fun v () acc ->
+        let s' = P.corrupt st t.graph v t.states.(v) in
+        t.metrics.Metrics.faults_injected <- t.metrics.Metrics.faults_injected + 1;
+        emit t (Trace.Fault_injected { round = t.rounds; node = v });
+        apply_write t ~round:t.rounds v s';
+        dirty_neighbourhood t v;
         v :: acc)
       chosen []
 

@@ -18,7 +18,16 @@ module type S = sig
   val step : Graph.t -> int -> state -> (int -> state) -> state
   (** [step g v own read] is one atomic activation of node [v]: [read u]
       returns the current register of the neighbour with node index [u]
-      (only neighbours of [v] may be read).  Returns the new register. *)
+      (only neighbours of [v] may be read).  Returns the new register.
+      [step] must be deterministic in its arguments: the event-driven engine
+      ({!Network.Make}) skips activations whose inputs are unchanged since
+      the node's last no-op step, which is only sound for pure steps. *)
+
+  val equal : state -> state -> bool
+  (** Register equality.  The engine uses it to decide whether an activation
+      changed the register — the dirty-set rule, incremental memory/alarm
+      accounting and the register-write trace all hang off it.  For the pure
+      record states used throughout, structural equality [( = )] is correct. *)
 
   val alarm : state -> bool
   (** Whether the node is currently raising an alarm ("outputting no"). *)

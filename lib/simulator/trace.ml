@@ -1,0 +1,120 @@
+(* Typed execution traces for the event-driven engine.
+
+   A trace is a bounded ring buffer of events: when it fills, the oldest
+   events are dropped (and counted) so that attaching a trace to an
+   arbitrarily long run costs O(capacity) memory.  The engine records an
+   event per activation, register write, alarm transition, fault injection
+   and convergence check, which makes the paper's round/bit/distance claims
+   observable per run instead of only as aggregates. *)
+
+type event =
+  | Activation of { round : int; node : int }
+      (* the daemon activated [node] during [round] *)
+  | Register_write of { round : int; node : int; bits : int }
+      (* the activation (or an external write) changed the register *)
+  | Alarm_raised of { round : int; node : int }
+  | Alarm_cleared of { round : int; node : int }
+  | Fault_injected of { round : int; node : int }
+  | Convergence of { round : int; reached : bool }
+      (* emitted by [run_until] when it stops *)
+
+type t = {
+  buf : event option array;
+  mutable next : int;  (* write cursor *)
+  mutable total : int;  (* events ever recorded *)
+}
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+
+let record t e =
+  t.buf.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let total t = t.total
+let length t = min t.total (Array.length t.buf)
+let dropped t = t.total - length t
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.total <- 0
+
+(* Oldest-first iteration over the retained window. *)
+let iter f t =
+  let cap = Array.length t.buf in
+  let len = length t in
+  let start = (t.next - len + cap) mod cap in
+  for i = 0 to len - 1 do
+    match t.buf.((start + i) mod cap) with Some e -> f e | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun e -> acc := e :: !acc) t;
+  List.rev !acc
+
+let event_name = function
+  | Activation _ -> "activation"
+  | Register_write _ -> "register_write"
+  | Alarm_raised _ -> "alarm_raised"
+  | Alarm_cleared _ -> "alarm_cleared"
+  | Fault_injected _ -> "fault_injected"
+  | Convergence _ -> "convergence"
+
+let event_round = function
+  | Activation { round; _ }
+  | Register_write { round; _ }
+  | Alarm_raised { round; _ }
+  | Alarm_cleared { round; _ }
+  | Fault_injected { round; _ }
+  | Convergence { round; _ } ->
+      round
+
+let event_node = function
+  | Activation { node; _ }
+  | Register_write { node; _ }
+  | Alarm_raised { node; _ }
+  | Alarm_cleared { node; _ }
+  | Fault_injected { node; _ } ->
+      Some node
+  | Convergence _ -> None
+
+(* ---------------- sinks ---------------- *)
+
+(* One JSON object per event; the whole trace is a JSONL stream. *)
+let event_to_json e =
+  let base = Fmt.str {|"event":"%s","round":%d|} (event_name e) (event_round e) in
+  match e with
+  | Register_write { node; bits; _ } -> Fmt.str {|{%s,"node":%d,"bits":%d}|} base node bits
+  | Convergence { reached; _ } -> Fmt.str {|{%s,"reached":%b}|} base reached
+  | Activation { node; _ }
+  | Alarm_raised { node; _ }
+  | Alarm_cleared { node; _ }
+  | Fault_injected { node; _ } ->
+      Fmt.str {|{%s,"node":%d}|} base node
+
+let write_jsonl oc t = iter (fun e -> output_string oc (event_to_json e ^ "\n")) t
+
+let csv_header = "event,round,node,bits,reached"
+
+let event_to_csv e =
+  let node = match event_node e with Some v -> string_of_int v | None -> "" in
+  let bits = match e with Register_write { bits; _ } -> string_of_int bits | _ -> "" in
+  let reached = match e with Convergence { reached; _ } -> string_of_bool reached | _ -> "" in
+  Fmt.str "%s,%d,%s,%s,%s" (event_name e) (event_round e) node bits reached
+
+let write_csv oc t =
+  output_string oc (csv_header ^ "\n");
+  iter (fun e -> output_string oc (event_to_csv e ^ "\n")) t
+
+let pp_event ppf e =
+  match event_node e with
+  | Some v -> Fmt.pf ppf "[%d] %s node %d" (event_round e) (event_name e) v
+  | None -> Fmt.pf ppf "[%d] %s" (event_round e) (event_name e)

@@ -1,0 +1,56 @@
+(** Ring-buffered typed execution traces for the event-driven engine.
+
+    Attach a trace to a {!Network.Make} instance and every activation,
+    register write, alarm transition, fault injection and convergence check
+    is recorded as a typed event.  The buffer is bounded: once [capacity]
+    events are held, the oldest are dropped (and counted in {!dropped}), so
+    tracing an arbitrarily long run costs O(capacity) memory. *)
+
+type event =
+  | Activation of { round : int; node : int }
+  | Register_write of { round : int; node : int; bits : int }
+  | Alarm_raised of { round : int; node : int }
+  | Alarm_cleared of { round : int; node : int }
+  | Fault_injected of { round : int; node : int }
+  | Convergence of { round : int; reached : bool }
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val record : t -> event -> unit
+
+val total : t -> int
+(** Events ever recorded, including dropped ones. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+
+val clear : t -> unit
+
+val iter : (event -> unit) -> t -> unit
+(** Oldest-first over the retained window. *)
+
+val to_list : t -> event list
+
+val event_name : event -> string
+val event_round : event -> int
+val event_node : event -> int option
+
+val event_to_json : event -> string
+(** One JSON object, no trailing newline: a JSONL line. *)
+
+val write_jsonl : out_channel -> t -> unit
+
+val csv_header : string
+val event_to_csv : event -> string
+val write_csv : out_channel -> t -> unit
+
+val pp_event : Format.formatter -> event -> unit

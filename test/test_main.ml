@@ -27,4 +27,6 @@ let () =
       ("dist-wave", Test_dist_wave.suite);
       ("forge", Test_forge.suite);
       ("figure-1", Test_fig1.suite);
+      ("engine-diff", Test_engine_diff.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -16,6 +16,7 @@ module Flood = struct
     { s with best }
 
   let alarm s = s.alarmed
+  let equal (a : state) (b : state) = a = b
   let bits s = Memory.of_int s.best + Memory.of_bool
   let corrupt st _ _ s = { s with best = Random.State.int st 1000 }
 end
