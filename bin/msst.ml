@@ -5,6 +5,7 @@
      verify     run the self-stabilizing verifier, optionally inject faults
      stabilize  run the transformer scenario (construct/verify/repair loop)
      trace      fault-injection run emitting a JSONL event trace
+     campaign   sweep fault models x sizes x fault counts; measure detection
      labels     print the Roots/EndP/Parents/Or-EndP strings of an instance
      compare    compare construction algorithms on one instance *)
 
@@ -158,6 +159,69 @@ let trace_run family n seed faults async_ out capacity =
   Fmt.epr "metrics: %a@." Metrics.pp (Net.metrics net);
   0
 
+(* ---------------- campaign ---------------- *)
+
+(* Sweep family x n x fault count x model over [seeds] instances each;
+   print the min/median/p95 aggregate and optionally write the per-trial
+   rows as CSV / JSONL.  Fully deterministic in --seed: identical seeds
+   yield byte-identical campaign files. *)
+let campaign families sizes fault_counts models seeds seed max_rounds csv_out jsonl_out =
+  let unknown = List.filter (fun m -> not (List.mem m Campaign.model_names)) models in
+  if unknown <> [] then begin
+    Fmt.epr "msst campaign: unknown model(s) %a (known: %a)@."
+      Fmt.(list ~sep:comma string)
+      unknown
+      Fmt.(list ~sep:comma string)
+      Campaign.model_names;
+    exit 2
+  end;
+  let unknown = List.filter (fun f -> not (List.mem f Verifier_campaign.family_names)) families in
+  if unknown <> [] then begin
+    Fmt.epr "msst campaign: unknown family(s) %a (known: %a)@."
+      Fmt.(list ~sep:comma string)
+      unknown
+      Fmt.(list ~sep:comma string)
+      Verifier_campaign.family_names;
+    exit 2
+  end;
+  if seeds <= 0 then begin
+    Fmt.epr "msst campaign: --seeds must be positive (got %d)@." seeds;
+    exit 2
+  end;
+  let trials =
+    Verifier_campaign.sweep ~families ~sizes ~fault_counts ~models ~seeds ~seed ~max_rounds
+  in
+  let aggs = Campaign.aggregate trials in
+  Fmt.pr "campaign: %d trials (%d families x %d sizes x %d fault counts x %d models x %d \
+          seeds)@.@."
+    (List.length trials) (List.length families) (List.length sizes)
+    (List.length fault_counts) (List.length models) seeds;
+  Fmt.pr "%a" Campaign.pp_agg_table aggs;
+  (* the paper's locality bound, as a shape check on the aggregate *)
+  let logn n = Ssmst_sim.Memory.of_nat n in
+  List.iter
+    (fun (a : Campaign.agg) ->
+      if a.Campaign.model = "uniform" && a.Campaign.dd_p95 >= 0 then
+        Fmt.pr "  bound: %s n=%d f=%d: dd_p95 %d vs f*log n = %d@." a.Campaign.family
+          a.Campaign.n a.Campaign.faults a.Campaign.dd_p95
+          (a.Campaign.faults * logn a.Campaign.n))
+    aggs;
+  (match csv_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Campaign.write_csv oc trials;
+      close_out oc;
+      Fmt.pr "@.per-trial CSV written to %s@." path);
+  (match jsonl_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Campaign.write_jsonl oc trials;
+      close_out oc;
+      Fmt.pr "per-trial JSONL written to %s@." path);
+  0
+
 (* ---------------- labels ---------------- *)
 
 let labels family n seed =
@@ -251,6 +315,72 @@ let trace_cmd =
     Term.(const trace_run $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg $ out_arg
           $ capacity_arg)
 
+let families_arg =
+  Arg.(
+    value
+    & opt (list string) [ "random"; "grid" ]
+    & info [ "families" ] ~docv:"FAMILY,..."
+        ~doc:"Graph families to sweep (random, path, ring, grid, complete, star).")
+
+let sizes_arg =
+  Arg.(
+    value
+    & opt (list int) [ 32; 64 ]
+    & info [ "sizes" ] ~docv:"N,..." ~doc:"Network sizes to sweep.")
+
+let fault_counts_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4; 8 ]
+    & info [ "fault-counts" ] ~docv:"F,..." ~doc:"Fault counts f to sweep.")
+
+let models_arg =
+  Arg.(
+    value
+    & opt (list string) [ "uniform"; "clustered"; "near-root"; "crash"; "bit-flip" ]
+    & info [ "models" ] ~docv:"MODEL,..."
+        ~doc:
+          "Fault models to sweep: uniform, clustered, near-root, targeted, crash, bit-flip, \
+           intermittent.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "seeds" ] ~docv:"K" ~doc:"Instances (seeds) per family x size grid point.")
+
+let max_rounds_arg =
+  Arg.(
+    value & opt int 20000
+    & info [ "max-rounds" ] ~docv:"R"
+        ~doc:
+          "Per-trial detection budget in rounds.  Benign faults (e.g. crash-reset of a \
+           settled verifier node) never alarm and run the whole budget, so this bounds \
+           the cost of undetected trials.")
+
+let campaign_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the per-trial rows as CSV to $(docv).")
+
+let campaign_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the per-trial rows as JSONL to $(docv).")
+
+let campaign_cmd =
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a deterministic fault-injection campaign on the verifier: sweep graph family x \
+          size x fault count x fault model over several seeded instances, measure detection \
+          time and detection distance per trial, print min/median/p95 aggregates and \
+          optionally emit the per-trial rows as CSV/JSONL.")
+    Term.(
+      const campaign $ families_arg $ sizes_arg $ fault_counts_arg $ models_arg $ seeds_arg
+      $ seed_arg $ max_rounds_arg $ campaign_csv_arg $ campaign_jsonl_arg)
+
 let labels_cmd =
   Cmd.v
     (Cmd.info "labels" ~doc:"Print the Section 5 label strings of an instance.")
@@ -267,4 +397,8 @@ let () =
     Cmd.info "msst" ~version:"1.0.0"
       ~doc:"Fast and compact self-stabilizing verification, computation and fault detection of an MST"
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ construct_cmd; verify_cmd; stabilize_cmd; trace_cmd; labels_cmd; compare_cmdliner ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ construct_cmd; verify_cmd; stabilize_cmd; trace_cmd; campaign_cmd; labels_cmd;
+            compare_cmdliner ]))

@@ -38,7 +38,7 @@ type t = {
   mutable peak_bits : int;
   (* the live verification network, existentially packed *)
   mutable run_verify : int -> [ `Alarm of int * int option | `Quiet ];
-  mutable inject : Random.State.t -> int -> int list;
+  mutable inject : Random.State.t -> Fault.t -> int list;
 }
 
 (* Cost of one construction epoch: leader election + bounds (O(n)), then
@@ -62,8 +62,8 @@ let install (t : t) =
   in
   t.run_verify <- run_with_faults [];
   t.inject <-
-    (fun st count ->
-      let faults = Net.inject_faults net st ~count in
+    (fun st model ->
+      let faults = Net.inject net st model in
       t.run_verify <- run_with_faults faults;
       faults)
 
@@ -111,8 +111,12 @@ let advance (t : t) ~rounds =
       t.history <- Detected { rounds = dt; distance = dist } :: t.history;
       reconstruct t
 
-(* Inject [count] faults into the running verification network. *)
-let inject_faults (t : t) st ~count = t.inject st count
+(* Apply a typed fault model to the running verification network: the
+   epoch re-injection path shares the campaign subsystem's models. *)
+let inject_model (t : t) st model = t.inject st model
+
+(* Inject [count] uniformly placed faults (the historical model). *)
+let inject_faults (t : t) st ~count = inject_model t st (Fault.uniform ~count)
 
 (* The current output. *)
 let tree (t : t) = t.marker.tree

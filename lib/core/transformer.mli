@@ -24,7 +24,7 @@ type t = {
   mutable history : event list;  (** most recent first *)
   mutable peak_bits : int;
   mutable run_verify : int -> [ `Alarm of int * int option | `Quiet ];
-  mutable inject : Random.State.t -> int -> int list;
+  mutable inject : Random.State.t -> Fault.t -> int list;
 }
 
 val construction_cost : Graph.t -> Marker.t -> int
@@ -38,8 +38,13 @@ val reconstruct : t -> unit
 val advance : t -> rounds:int -> unit
 (** Run the verification regime for [rounds]; reconstruct on detection. *)
 
+val inject_model : t -> Random.State.t -> Fault.t -> int list
+(** Apply a typed fault model to the running verification network (the
+    epoch re-injection path of the campaign subsystem). *)
+
 val inject_faults : t -> Random.State.t -> count:int -> int list
-(** Corrupt [count] nodes of the running verification network. *)
+(** Corrupt [count] uniformly placed nodes: [inject_model] under
+    {!Fault.uniform}. *)
 
 val tree : t -> Tree.t
 (** The current output. *)

@@ -621,4 +621,48 @@ module Make (C : CONFIG) = struct
       cmp = cmp_init;
       alarm = false;
     }
+
+  (* Targeted-field fault (the {!Fault.Bit_flip} severity): perturb exactly
+     one scalar of the persistent label — one stored piece's weight, one
+     string symbol, or one of the Example SP/NumK counters — leaving the
+     trains and every other field untouched.  The surgical counterpart of
+     [corrupt]'s multi-field scrambling. *)
+  let corrupt_field st _g _v (s : state) =
+    let l = s.label in
+    let bump_piece (pl : Partition.node_part_label) =
+      if Array.length pl.Partition.own = 0 then None
+      else begin
+        let own = Array.copy pl.Partition.own in
+        let i = Random.State.int st (Array.length own) in
+        let w = own.(i).Pieces.weight in
+        own.(i) <-
+          {
+            (own.(i)) with
+            Pieces.weight = { w with Weight.base = w.Weight.base + 1 + Random.State.int st 7 };
+          };
+        Some { pl with Partition.own = own }
+      end
+    in
+    let label =
+      match Random.State.int st 4 with
+      | 0 -> (
+          match bump_piece l.Marker.top with
+          | Some top -> { l with Marker.top }
+          | None -> { l with Marker.sp_depth = l.Marker.sp_depth + 1 })
+      | 1 -> (
+          match bump_piece l.Marker.bot with
+          | Some bot -> { l with Marker.bot }
+          | None -> { l with Marker.nk_sub = l.Marker.nk_sub + 1 })
+      | 2 ->
+          let strings = { l.Marker.strings with Labels.roots = Array.copy l.Marker.strings.Labels.roots } in
+          let j = Random.State.int st strings.Labels.len in
+          strings.Labels.roots.(j) <-
+            (match strings.Labels.roots.(j) with
+            | Labels.R1 -> Labels.R0
+            | Labels.R0 -> Labels.RStar
+            | Labels.RStar -> Labels.R1);
+          { l with Marker.strings }
+      | _ -> { l with Marker.sp_depth = l.Marker.sp_depth + 1 + Random.State.int st 7 }
+    in
+    { s with label; cmp = cmp_init; alarm = false }
 end

@@ -1,0 +1,88 @@
+open Ssmst_graph
+open Ssmst_sim
+
+(* The verifier instantiation of {!Campaign} (see the interface).  An
+   [instance] caches the settled register snapshot so that a whole grid of
+   (fault count x model) trials reuses one settling run; every trial then
+   restores the snapshot into a fresh network, injects per the model and
+   drives to the first alarm. *)
+
+let family_names = [ "random"; "path"; "ring"; "grid"; "complete"; "star" ]
+
+let graph_of_family family st n =
+  match family with
+  | "random" -> Gen.random_connected st n
+  | "path" -> Gen.path st n
+  | "ring" -> Gen.ring st n
+  | "grid" ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Gen.grid st side side
+  | "complete" -> Gen.complete st n
+  | "star" -> Gen.star st n
+  | _ -> invalid_arg (Fmt.str "Verifier_campaign.graph_of_family: unknown family %S" family)
+
+type instance = {
+  graph : Graph.t;
+  marker : Marker.t;
+  settled : Verifier.state array;  (* registers after the settling run *)
+}
+
+let graph t = t.graph
+let root t = Tree.root t.marker.Marker.tree
+
+let prepare ~family ~n ~seed =
+  let g = graph_of_family family (Gen.rng seed) n in
+  let m = Marker.run g in
+  let module C = struct
+    let marker = m
+    let mode = Verifier.Passive
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let net = Net.create g in
+  Net.run net Scheduler.Sync ~rounds:(8 * Verifier.window_bound m.Marker.labels.(0));
+  { graph = g; marker = m; settled = Array.copy (Net.states net) }
+
+let run_trial t ~model ~inject_seed ~max_rounds =
+  let module C = struct
+    let marker = t.marker
+    let mode = Verifier.Passive
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let net = Net.create t.graph in
+  Array.iteri (Net.set_state net) t.settled;
+  let rng = Gen.rng inject_seed in
+  Campaign.drive ~rng ~model ~max_rounds
+    ~round:(fun () -> Net.round net Scheduler.Sync)
+    ~any_alarm:(fun () -> Net.any_alarm net)
+    ~inject:(fun st m -> Net.inject net st m)
+    ~distance:(fun ~faults -> Net.detection_distance net ~faults)
+
+let sweep ~families ~sizes ~fault_counts ~models ~seeds ~seed ~max_rounds =
+  let trials = ref [] in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun n ->
+          for i = 0 to seeds - 1 do
+            let instance_seed = seed + (7919 * i) in
+            let inst = prepare ~family ~n ~seed:instance_seed in
+            let r = root inst in
+            List.iteri
+              (fun fi f ->
+                List.iteri
+                  (fun mi name ->
+                    let model = Campaign.resolve_model name ~n:(Graph.n inst.graph) ~root:r ~count:f in
+                    let inject_seed = (instance_seed * 31) + (97 * fi) + mi + 1 in
+                    let outcome = run_trial inst ~model ~inject_seed ~max_rounds in
+                    let spec =
+                      { Campaign.family; n; faults = f; model = name; seed = instance_seed }
+                    in
+                    trials := { Campaign.spec; outcome } :: !trials)
+                  models)
+              fault_counts
+          done)
+        sizes)
+    families;
+  List.rev !trials

@@ -1,0 +1,41 @@
+open Ssmst_graph
+open Ssmst_sim
+
+(** The verifier instantiation of {!Ssmst_sim.Campaign}: build an instance
+    (graph + marker + settled verifier network), then sweep fault models
+    over it, measuring detection time and detection distance per trial.
+    Shared by [msst campaign] and the [bench CAMPAIGN] experiment. *)
+
+val family_names : string list
+(** ["random"; "path"; "ring"; "grid"; "complete"; "star"] *)
+
+val graph_of_family : string -> Random.State.t -> int -> Graph.t
+(** @raise Invalid_argument on an unknown family name. *)
+
+type instance
+(** A settled verifier instance: the graph, its marker, and the register
+    snapshot after the settling run — trials restart from the snapshot, so
+    the O(window_bound) settling cost is paid once per instance, not once
+    per (f, model) grid point. *)
+
+val prepare : family:string -> n:int -> seed:int -> instance
+val graph : instance -> Graph.t
+val root : instance -> int
+(** The MST root: the anchor of the ["near-root"] placement. *)
+
+val run_trial : instance -> model:Fault.t -> inject_seed:int -> max_rounds:int -> Campaign.outcome
+(** One trial on a fresh network restored from the instance snapshot;
+    deterministic in the instance and [inject_seed]. *)
+
+val sweep :
+  families:string list ->
+  sizes:int list ->
+  fault_counts:int list ->
+  models:string list ->
+  seeds:int ->
+  seed:int ->
+  max_rounds:int ->
+  Campaign.trial list
+(** The full campaign grid, in deterministic order: for each family x n x
+    instance-seed, one {!prepare}, then every fault count x model.  The
+    [seed] is the base; instance seed i uses [seed + 7919 * i]. *)

@@ -60,3 +60,26 @@ let diameter_within g ~member =
   !d
 
 let hop_distance g u v = (bfs g u).(v)
+
+(* The paper's detection distance (Section 2.4): the worst, over the
+   faults, of the hop distance to the *closest* alarming node.  Alarms in a
+   different component than a fault are skipped; a fault no alarming node
+   can be charged to (nothing reachable raised an alarm) makes the whole
+   measurement [None] — reporting a finite distance there would silently
+   understate the containment claim. *)
+let detection_distance g ~faults ~alarms =
+  match alarms with
+  | [] -> None
+  | _ ->
+      let rec worst_over acc = function
+        | [] -> Some acc
+        | f :: rest ->
+            let d = bfs g f in
+            let closest =
+              List.fold_left
+                (fun best a -> if d.(a) >= 0 then min best d.(a) else best)
+                max_int alarms
+            in
+            if closest = max_int then None else worst_over (max acc closest) rest
+      in
+      worst_over 0 faults

@@ -15,3 +15,10 @@ val diameter_within : Graph.t -> member:(int -> bool) -> int
 (** Diameter of the induced subgraph (assumed connected). *)
 
 val hop_distance : Graph.t -> int -> int -> int
+
+val detection_distance : Graph.t -> faults:int list -> alarms:int list -> int option
+(** The paper's detection distance (Section 2.4): the maximum over
+    [faults] of the hop distance to the closest member of [alarms].
+    Alarms unreachable from a given fault are skipped; the result is
+    [None] when [alarms] is empty or some fault has no reachable alarm at
+    all (an honest "unreachable" instead of a [max_int] artefact). *)

@@ -151,6 +151,7 @@ module Emulate (M : MESSAGE_PROTOCOL) = struct
     + Memory.of_list (fun (_, m) -> 4 + M.message_bits m) s.deferred
 
   let corrupt _ _ _ s = s (* the emulation hosts non-stabilizing protocols *)
+  let corrupt_field _ _ _ s = s
 
   (* no message queued, in flight, or deferred anywhere *)
   let quiescent_node (s : state) =

@@ -64,4 +64,27 @@ module Make (C : CONFIG) = struct
     ignore g;
     ignore v;
     { label = { l with Kkp_pls.pieces }; alarm = false }
+
+  (* targeted-field fault: bump exactly one stored piece's weight (the
+     whole-piece replacement above is the scrambling severity) *)
+  let corrupt_field st g v (s : state) =
+    let l = s.label in
+    let with_piece =
+      Array.to_list l.Kkp_pls.pieces
+      |> List.mapi (fun j p -> (j, p))
+      |> List.filter_map (fun (j, p) -> Option.map (fun pc -> (j, pc)) p)
+    in
+    match with_piece with
+    | [] -> corrupt st g v s
+    | _ ->
+        let j, pc = List.nth with_piece (Random.State.int st (List.length with_piece)) in
+        let pieces = Array.copy l.Kkp_pls.pieces in
+        let w = pc.Pieces.weight in
+        pieces.(j) <-
+          Some
+            {
+              pc with
+              Pieces.weight = { w with Weight.base = w.Weight.base + 1 + Random.State.int st 7 };
+            };
+        { label = { l with Kkp_pls.pieces }; alarm = false }
 end

@@ -102,4 +102,8 @@ module Make (C : CONFIG) = struct
 
   let corrupt st _ _ s =
     { s with seq = Random.State.int st 16; echo = Random.State.int st 1024 }
+
+  let corrupt_field st _ _ s =
+    if Random.State.bool st then { s with seq = Random.State.int st 16 }
+    else { s with echo = Random.State.int st 1024 }
 end

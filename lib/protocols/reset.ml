@@ -77,6 +77,12 @@ module Make (App : Protocol.S) = struct
       app = App.corrupt st g v s.app;
     }
 
+  let corrupt_field st g v s =
+    match Random.State.int st 3 with
+    | 0 -> { s with epoch = Random.State.int st 64 }
+    | 1 -> { s with bfs = Ss_bfs.P.corrupt_field st g v s.bfs }
+    | _ -> { s with app = App.corrupt_field st g v s.app }
+
   let epoch s = s.epoch
   let app s = s.app
 end

@@ -54,6 +54,12 @@ module P = struct
       dist = Random.State.int st (2 * Graph.n g);
       parent = Random.State.int st (Graph.n g) - 1;
     }
+
+  let corrupt_field st g _v s =
+    match Random.State.int st 3 with
+    | 0 -> { s with leader = Random.State.int st (4 * Graph.n g) }
+    | 1 -> { s with dist = Random.State.int st (2 * Graph.n g) }
+    | _ -> { s with parent = Random.State.int st (Graph.n g) - 1 }
 end
 
 module Net = Network.Make (P)

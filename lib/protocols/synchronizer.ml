@@ -56,6 +56,11 @@ module Make (P : Protocol.S) = struct
 
   let corrupt st g v s = { s with cur = P.corrupt st g v s.cur }
 
+  (* the pulse counter is load-bearing for the advance rule (the
+     synchronizer itself is not self-stabilizing), so the targeted-field
+     fault perturbs one field of the wrapped register instead *)
+  let corrupt_field st g v s = { s with cur = P.corrupt_field st g v s.cur }
+
   let pulse s = s.pulse
   let current s = s.cur
 end

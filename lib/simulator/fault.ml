@@ -1,0 +1,130 @@
+open Ssmst_graph
+
+(* Typed fault models: placement x severity x cadence, applied through one
+   deterministic entry point shared by both network engines (see the
+   interface for the full story).  Everything here is a pure function of
+   the RNG state, the graph and the model: victim lists come back sorted
+   and severities are applied in ascending node order, so identical seeds
+   reproduce identical post-fault configurations on either engine. *)
+
+type placement =
+  | Uniform
+  | Clustered of { center : int option; radius : int }
+  | Near_root of { root : int }
+  | Targeted of int list
+
+type severity = Corrupt_random | Crash_reset | Bit_flip
+
+type cadence = One_shot | Intermittent of { period : int; repeats : int }
+
+type t = {
+  placement : placement;
+  severity : severity;
+  cadence : cadence;
+  count : int;
+}
+
+let make ?(placement = Uniform) ?(severity = Corrupt_random) ?(cadence = One_shot) ~count () =
+  if count < 0 then invalid_arg "Fault.make: negative count";
+  (match placement with
+  | Clustered { radius; _ } when radius < 0 -> invalid_arg "Fault.make: negative radius"
+  | _ -> ());
+  (match cadence with
+  | Intermittent { period; repeats } when period <= 0 || repeats < 0 ->
+      invalid_arg "Fault.make: intermittent cadence needs period > 0 and repeats >= 0"
+  | _ -> ());
+  { placement; severity; cadence; count }
+
+let uniform ~count = make ~count ()
+
+let placement_string = function
+  | Uniform -> "uniform"
+  | Clustered { center; radius } ->
+      Fmt.str "clustered(%sr=%d)"
+        (match center with None -> "" | Some c -> Fmt.str "c=%d," c)
+        radius
+  | Near_root { root } -> Fmt.str "near-root(%d)" root
+  | Targeted vs -> Fmt.str "targeted[%a]" Fmt.(list ~sep:comma int) vs
+
+let severity_string = function
+  | Corrupt_random -> "corrupt"
+  | Crash_reset -> "crash"
+  | Bit_flip -> "bit-flip"
+
+let cadence_string = function
+  | One_shot -> "one-shot"
+  | Intermittent { period; repeats } -> Fmt.str "every%dx%d" period repeats
+
+let to_string m =
+  Fmt.str "%s/%s/%s x%d"
+    (placement_string m.placement)
+    (severity_string m.severity)
+    (cadence_string m.cadence)
+    m.count
+
+let pp ppf m = Fmt.string ppf (to_string m)
+
+(* Distinct draws from [universe] by rejection — the historical uniform
+   sampler's RNG consumption, generalized to an arbitrary universe.  The
+   result is sorted: Hashtbl fold order must never leak out (it varies
+   across runs and OCaml versions, which used to break trace replay). *)
+let sample_distinct st universe count =
+  let n = Array.length universe in
+  let count = min count n in
+  let chosen = Hashtbl.create (max 1 count) in
+  while Hashtbl.length chosen < count do
+    Hashtbl.replace chosen universe.(Random.State.int st n) ()
+  done;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) chosen [])
+
+let choose_victims st g m =
+  let n = Graph.n g in
+  match m.placement with
+  | Uniform -> sample_distinct st (Array.init n Fun.id) m.count
+  | Clustered { center; radius } ->
+      let center =
+        match center with
+        | Some c ->
+            if c < 0 || c >= n then invalid_arg "Fault.choose_victims: center out of range";
+            c
+        | None -> Random.State.int st n
+      in
+      let d = Dist.bfs g center in
+      let ball = ref [] in
+      for v = n - 1 downto 0 do
+        if d.(v) >= 0 && d.(v) <= radius then ball := v :: !ball
+      done;
+      let ball = Array.of_list !ball in
+      if Array.length ball <= m.count then Array.to_list ball
+      else sample_distinct st ball m.count
+  | Near_root { root } ->
+      if root < 0 || root >= n then invalid_arg "Fault.choose_victims: root out of range";
+      let d = Dist.bfs g root in
+      let reachable = ref [] in
+      for v = n - 1 downto 0 do
+        if d.(v) >= 0 then reachable := v :: !reachable
+      done;
+      let closest =
+        List.sort (fun u v -> compare (d.(u), u) (d.(v), v)) !reachable
+        |> List.filteri (fun i _ -> i < m.count)
+      in
+      List.sort compare closest
+  | Targeted vs ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Fault.choose_victims: targeted victim out of range")
+        vs;
+      List.sort_uniq compare vs
+
+module Apply (P : Protocol.S) = struct
+  let corrupt_one st g severity v s =
+    match severity with
+    | Corrupt_random -> P.corrupt st g v s
+    | Crash_reset -> P.init g v
+    | Bit_flip -> P.corrupt_field st g v s
+
+  let apply st g m ~get ~set =
+    let victims = choose_victims st g m in
+    List.iter (fun v -> set v (corrupt_one st g m.severity v (get v))) victims;
+    victims
+end

@@ -107,37 +107,28 @@ module Naive (P : Protocol.S) = struct
     let executed, reached = run_until t daemon ~max_rounds any_alarm in
     if reached then Some executed else None
 
-  (* Corrupt [count] distinct random nodes; returns the list of faulty
-     nodes. *)
-  let inject_faults t st ~count =
-    let n = Graph.n t.graph in
-    let chosen = Hashtbl.create count in
-    while Hashtbl.length chosen < min count n do
-      Hashtbl.replace chosen (Random.State.int st n) ()
-    done;
-    Hashtbl.fold
-      (fun v () acc ->
-        t.states.(v) <- P.corrupt st t.graph v t.states.(v);
-        v :: acc)
-      chosen []
+  module Inject = Fault.Apply (P)
+
+  (* Apply one burst of [model]: the victim set and the corruption order
+     are deterministic (ascending node index; see {!Fault}), so identical
+     seeds reproduce identical post-fault configurations. *)
+  let inject t st (model : Fault.t) =
+    let faults =
+      Inject.apply st t.graph model
+        ~get:(fun v -> t.states.(v))
+        ~set:(fun v s' -> t.states.(v) <- s')
+    in
+    record_memory t;
+    faults
+
+  (* Corrupt [count] distinct random nodes; returns the sorted list of
+     faulty nodes. *)
+  let inject_faults t st ~count = inject t st (Fault.uniform ~count)
 
   (* Max hop distance from any fault to the closest alarming node: the
      paper's detection distance (Section 2.4). *)
   let detection_distance t ~faults =
-    let alarms = alarming_nodes t in
-    match alarms with
-    | [] -> None
-    | _ ->
-        let worst = ref 0 in
-        List.iter
-          (fun f ->
-            let d = Dist.bfs t.graph f in
-            let closest =
-              List.fold_left (fun acc a -> min acc (if d.(a) < 0 then max_int else d.(a))) max_int alarms
-            in
-            if closest > !worst then worst := closest)
-          faults;
-        Some !worst
+    Dist.detection_distance t.graph ~faults ~alarms:(alarming_nodes t)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -372,39 +363,27 @@ module Make (P : Protocol.S) = struct
     let executed, reached = run_until t daemon ~max_rounds any_alarm in
     if reached then Some executed else None
 
-  (* Corrupt [count] distinct random nodes; returns the list of faulty
-     nodes.  Consumes the RNG exactly as {!Naive.inject_faults} does. *)
-  let inject_faults t st ~count =
-    let n = Graph.n t.graph in
-    let chosen = Hashtbl.create count in
-    while Hashtbl.length chosen < min count n do
-      Hashtbl.replace chosen (Random.State.int st n) ()
-    done;
-    Hashtbl.fold
-      (fun v () acc ->
-        let s' = P.corrupt st t.graph v t.states.(v) in
+  module Inject = Fault.Apply (P)
+
+  (* Apply one burst of [model].  Consumes the RNG exactly as
+     {!Naive.inject} does and funnels every rewrite through [apply_write]
+     plus [dirty_neighbourhood], so the metrics, the trace, the alarm
+     tracking and the dirty set all see the fault. *)
+  let inject t st (model : Fault.t) =
+    Inject.apply st t.graph model
+      ~get:(fun v -> t.states.(v))
+      ~set:(fun v s' ->
         t.metrics.Metrics.faults_injected <- t.metrics.Metrics.faults_injected + 1;
         emit t (Trace.Fault_injected { round = t.rounds; node = v });
         apply_write t ~round:t.rounds v s';
-        dirty_neighbourhood t v;
-        v :: acc)
-      chosen []
+        dirty_neighbourhood t v)
+
+  (* Corrupt [count] distinct random nodes; returns the sorted list of
+     faulty nodes. *)
+  let inject_faults t st ~count = inject t st (Fault.uniform ~count)
 
   (* Max hop distance from any fault to the closest alarming node: the
      paper's detection distance (Section 2.4). *)
   let detection_distance t ~faults =
-    let alarms = alarming_nodes t in
-    match alarms with
-    | [] -> None
-    | _ ->
-        let worst = ref 0 in
-        List.iter
-          (fun f ->
-            let d = Dist.bfs t.graph f in
-            let closest =
-              List.fold_left (fun acc a -> min acc (if d.(a) < 0 then max_int else d.(a))) max_int alarms
-            in
-            if closest > !worst then worst := closest)
-          faults;
-        Some !worst
+    Dist.detection_distance t.graph ~faults ~alarms:(alarming_nodes t)
 end

@@ -39,6 +39,13 @@ module type S = sig
   (** Adversarial fault: an arbitrary perturbation of the register used by
       fault-injection experiments.  Must return a type-correct state but is
       free to break every semantic invariant. *)
+
+  val corrupt_field : Random.State.t -> Graph.t -> int -> state -> state
+  (** Targeted-field fault (the {!Fault.Bit_flip} severity): perturb exactly
+      one field of the register, leaving every other field intact — the
+      surgical end of the fault spectrum, against which [corrupt] is the
+      full scrambling.  Protocols whose registers have no meaningfully
+      separable fields may fall back to [corrupt]. *)
 end
 
 (* Convenience alias used throughout. *)

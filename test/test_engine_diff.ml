@@ -26,6 +26,10 @@ module Flood = struct
   let equal (a : state) (b : state) = a = b
   let bits s = Ssmst_sim.Memory.of_int s.best + Ssmst_sim.Memory.of_nat s.hops
   let corrupt st _ _ (s : state) = { s with best = Random.State.int st 4096 }
+
+  let corrupt_field st _ _ (s : state) =
+    if Random.State.bool st then { s with best = Random.State.int st 4096 }
+    else { s with hops = Random.State.int st 64 }
 end
 
 module Diff (P : Protocol.S) = struct
@@ -67,6 +71,8 @@ module Diff (P : Protocol.S) = struct
       let fn = N.inject_faults naive (Gen.rng (seed + 2)) ~count:faults in
       let fe = E.inject_faults engine (Gen.rng (seed + 2)) ~count:faults in
       if fn <> fe then failwith (Fmt.str "fault sets diverge (seed %d)" seed);
+      if fn <> List.sort compare fn then
+        failwith (Fmt.str "fault set not sorted (seed %d)" seed);
       check ~ctx:"post-injection" naive engine;
       for r = 1 to rounds do
         N.round naive dn;
@@ -76,6 +82,48 @@ module Diff (P : Protocol.S) = struct
           naive engine
       done
     end
+
+  (* Every placement x severity combination the fault subsystem offers:
+     after each injection the engines must stay bit-identical (this is
+     what guards the dirty-marking of the event-driven engine on the
+     fault path). *)
+  let all_models n root =
+    [
+      Fault.uniform ~count:2;
+      Fault.make ~placement:(Clustered { center = Some root; radius = 2 }) ~count:3 ();
+      Fault.make ~placement:(Clustered { center = None; radius = 1 }) ~count:2 ();
+      Fault.make ~placement:(Near_root { root }) ~count:2 ();
+      Fault.make ~placement:(Targeted [ 0; n / 2; n - 1 ]) ~count:3 ();
+      Fault.make ~severity:Crash_reset ~count:3 ();
+      Fault.make ~severity:Bit_flip ~count:3 ();
+      Fault.make ~severity:Bit_flip
+        ~cadence:(Intermittent { period = 5; repeats = 2 })
+        ~count:2 ();
+    ]
+
+  let run_models ?(n = 20) ?(rounds = 15) ~seed ~kind () =
+    let g = Gen.random_connected (Gen.rng seed) n in
+    let naive = N.create g and engine = E.create g in
+    let dn = daemon_of kind (seed + 1) and de = daemon_of kind (seed + 1) in
+    for r = 1 to rounds do
+      N.round naive dn;
+      E.round engine de;
+      check ~ctx:(Fmt.str "warmup round %d (seed %d)" r seed) naive engine
+    done;
+    List.iteri
+      (fun i model ->
+        let ctx = Fmt.str "model %s (daemon %d, seed %d)" (Fault.to_string model) kind seed in
+        let fn = N.inject naive (Gen.rng (seed + 100 + i)) model in
+        let fe = E.inject engine (Gen.rng (seed + 100 + i)) model in
+        if fn <> fe then failwith (Fmt.str "%s: fault sets diverge" ctx);
+        if fn <> List.sort compare fn then failwith (Fmt.str "%s: fault set not sorted" ctx);
+        check ~ctx:(ctx ^ " post-injection") naive engine;
+        for r = 1 to 5 do
+          N.round naive dn;
+          E.round engine de;
+          check ~ctx:(Fmt.str "%s round %d" ctx r) naive engine
+        done)
+      (all_models (Graph.n g) (seed mod n))
 end
 
 module Diff_flood = Diff (Flood)
@@ -98,6 +146,21 @@ let bfs_diff =
   qcheck_diff "engine = naive: ss-bfs leader election" (fun ~seed ~kind ->
       Diff_bfs.run_one ~rounds:30 ~faults:3 ~seed ~kind ())
 
+let qcheck_models name count (run : seed:int -> kind:int -> unit) =
+  QCheck.Test.make ~count ~name
+    QCheck.(pair (int_bound 1_000_000) (int_bound 2))
+    (fun (seed, kind) ->
+      run ~seed ~kind;
+      true)
+
+let flood_models =
+  qcheck_models "engine = naive: every fault model (flood)" 40 (fun ~seed ~kind ->
+      Diff_flood.run_models ~seed ~kind ())
+
+let bfs_models =
+  qcheck_models "engine = naive: every fault model (ss-bfs)" 25 (fun ~seed ~kind ->
+      Diff_bfs.run_models ~seed ~kind ())
+
 (* ---------------- the real verifier, sync and async ---------------- *)
 
 let verifier_diff kind () =
@@ -116,10 +179,26 @@ let verifier_diff kind () =
       D.run_one ~n ~rounds:120 ~faults:1 ~seed:(8200 + seed) ~kind ())
     [ 0; 1 ]
 
+(* the real verifier under every fault model *)
+let verifier_models () =
+  let n = 16 and seed = 9100 in
+  let g = Gen.random_connected (Gen.rng seed) n in
+  let m = Marker.run g in
+  let module C = struct
+    let marker = m
+    let mode = Verifier.Passive
+  end in
+  let module P = Verifier.Make (C) in
+  let module D = Diff (P) in
+  List.iter (fun kind -> D.run_models ~n ~rounds:60 ~seed ~kind ()) [ 0; 1 ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest flood_diff;
     QCheck_alcotest.to_alcotest bfs_diff;
+    QCheck_alcotest.to_alcotest flood_models;
+    QCheck_alcotest.to_alcotest bfs_models;
     Alcotest.test_case "engine = naive: verifier, synchronous" `Quick (verifier_diff 0);
     Alcotest.test_case "engine = naive: verifier, async daemon" `Quick (verifier_diff 1);
+    Alcotest.test_case "engine = naive: verifier, every fault model" `Quick verifier_models;
   ]

@@ -1,0 +1,309 @@
+open Ssmst_graph
+open Ssmst_sim
+open Ssmst_core
+
+(* The fault-model subsystem: deterministic victim choice per placement,
+   severity semantics, intermittent cadence, and the detection-distance
+   fix for alarms unreachable from every fault. *)
+
+let rng = Gen.rng
+let graph seed n = Gen.random_connected (rng seed) n
+
+let is_sorted_distinct l =
+  let rec go = function a :: (b :: _ as rest) -> a < b && go rest | _ -> true in
+  go l
+
+(* ---------------- victim choice ---------------- *)
+
+let placements n root =
+  [
+    Fault.Uniform;
+    Fault.Clustered { center = Some root; radius = 2 };
+    Fault.Clustered { center = None; radius = 1 };
+    Fault.Near_root { root };
+    Fault.Targeted [ 0; n / 2; n - 1 ];
+  ]
+
+let victims_deterministic () =
+  let g = graph 11 24 in
+  List.iter
+    (fun placement ->
+      let m = Fault.make ~placement ~count:4 () in
+      let a = Fault.choose_victims (rng 7) g m in
+      let b = Fault.choose_victims (rng 7) g m in
+      Alcotest.(check (list int)) (Fault.to_string m ^ ": same seed, same victims") a b;
+      Alcotest.(check bool) (Fault.to_string m ^ ": sorted, distinct") true (is_sorted_distinct a);
+      Alcotest.(check bool)
+        (Fault.to_string m ^ ": in range")
+        true
+        (List.for_all (fun v -> v >= 0 && v < Graph.n g) a))
+    (placements 24 5)
+
+(* Regression for the Hashtbl.fold order leak: the uniform sampler must
+   return a sorted list no matter the internal fold order, and both
+   engines must agree on it (they share the chooser). *)
+let uniform_sorted_regression () =
+  for seed = 0 to 19 do
+    let g = graph (300 + seed) 30 in
+    let vs = Fault.choose_victims (rng seed) g (Fault.uniform ~count:6) in
+    Alcotest.(check int) "six victims" 6 (List.length vs);
+    Alcotest.(check bool) "sorted and distinct" true (is_sorted_distinct vs)
+  done
+
+let clustered_radius () =
+  let g = graph 23 40 in
+  let center = 7 and radius = 2 in
+  let d = Dist.bfs g center in
+  let m = Fault.make ~placement:(Clustered { center = Some center; radius }) ~count:6 () in
+  let vs = Fault.choose_victims (rng 3) g m in
+  Alcotest.(check bool) "some victims" true (vs <> []);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Fmt.str "victim %d within radius %d of %d" v radius center)
+        true
+        (d.(v) >= 0 && d.(v) <= radius))
+    vs
+
+let near_root_closest () =
+  let g = graph 29 24 in
+  let root = 3 in
+  let d = Dist.bfs g root in
+  let count = 5 in
+  let expected =
+    List.init (Graph.n g) Fun.id
+    |> List.sort (fun u v -> compare (d.(u), u) (d.(v), v))
+    |> List.filteri (fun i _ -> i < count)
+    |> List.sort compare
+  in
+  let m = Fault.make ~placement:(Near_root { root }) ~count () in
+  Alcotest.(check (list int)) "the f closest nodes" expected (Fault.choose_victims (rng 1) g m);
+  (* fully deterministic: different RNG states agree *)
+  Alcotest.(check (list int))
+    "consumes no randomness" expected
+    (Fault.choose_victims (rng 999) g m)
+
+let targeted_dedup () =
+  let g = graph 31 12 in
+  let m = Fault.make ~placement:(Targeted [ 5; 1; 3; 1; 5 ]) ~count:99 () in
+  Alcotest.(check (list int)) "sorted dedup" [ 1; 3; 5 ] (Fault.choose_victims (rng 0) g m);
+  Alcotest.check_raises "out of range rejected" (Invalid_argument "Fault.choose_victims: targeted victim out of range")
+    (fun () -> ignore (Fault.choose_victims (rng 0) g (Fault.make ~placement:(Targeted [ 12 ]) ~count:1 ())))
+
+(* ---------------- severity semantics ---------------- *)
+
+module Toy = struct
+  type state = { a : int; b : int }
+
+  let init g v = { a = Graph.id g v; b = 0 }
+  let step _ _ s _ = s
+  let alarm _ = false
+  let equal (x : state) (y : state) = x = y
+  let bits s = Memory.of_int s.a + Memory.of_nat s.b
+  let corrupt st _ _ _ = { a = Random.State.int st 4096; b = Random.State.int st 4096 }
+  let corrupt_field st _ _ s = { s with b = 1 + Random.State.int st 64 }
+end
+
+module ToyApply = Fault.Apply (Toy)
+
+let severity_semantics () =
+  let g = graph 41 16 in
+  let run severity =
+    let states = Array.init (Graph.n g) (fun v -> { Toy.a = 100 + v; b = 100 + v }) in
+    let vs =
+      ToyApply.apply (rng 5) g
+        (Fault.make ~severity ~count:4 ())
+        ~get:(fun v -> states.(v))
+        ~set:(fun v s -> states.(v) <- s)
+    in
+    (vs, states)
+  in
+  let vs, states = run Fault.Crash_reset in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "crash resets to init" true (Toy.equal states.(v) (Toy.init g v)))
+    vs;
+  let vs, states = run Fault.Bit_flip in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "bit-flip leaves field a" (100 + v) states.(v).Toy.a;
+      Alcotest.(check bool) "bit-flip perturbs field b" true (states.(v).Toy.b <> 100 + v))
+    vs;
+  (* untouched nodes keep their registers under every severity *)
+  List.iter
+    (fun severity ->
+      let vs, states = run severity in
+      Array.iteri
+        (fun v s ->
+          if not (List.mem v vs) then
+            Alcotest.(check bool) "non-victim untouched" true (Toy.equal s { Toy.a = 100 + v; b = 100 + v }))
+        states)
+    [ Fault.Corrupt_random; Fault.Crash_reset; Fault.Bit_flip ]
+
+(* ---------------- intermittent cadence (Campaign.drive) ---------------- *)
+
+let intermittent_cadence () =
+  let g = graph 53 10 in
+  let period = 25 and repeats = 3 in
+  let model =
+    Fault.make ~cadence:(Intermittent { period; repeats }) ~count:2 ()
+  in
+  let r = ref 0 and bursts = ref [] in
+  let outcome =
+    Campaign.drive ~rng:(rng 2) ~model ~max_rounds:120
+      ~round:(fun () -> incr r)
+      ~any_alarm:(fun () -> false)
+      ~inject:(fun st m ->
+        bursts := !r :: !bursts;
+        Fault.choose_victims st g m)
+      ~distance:(fun ~faults:_ -> None)
+  in
+  let bursts = List.rev !bursts in
+  Alcotest.(check int) "initial burst + repeats" (repeats + 1) (List.length bursts);
+  (match bursts with
+  | first :: _ -> Alcotest.(check int) "first burst before any round" 0 first
+  | [] -> Alcotest.fail "no bursts");
+  List.iteri
+    (fun i b -> Alcotest.(check int) (Fmt.str "burst %d on the period" i) (i * period) b)
+    bursts;
+  Alcotest.(check int) "two victims per burst" (2 * (repeats + 1)) outcome.Campaign.injections;
+  Alcotest.(check (option int)) "never detected" None outcome.Campaign.detection_rounds;
+  Alcotest.(check int) "ran to the horizon" 120 outcome.Campaign.rounds_run
+
+(* one-shot never re-injects even across a long horizon *)
+let one_shot_cadence () =
+  let g = graph 59 10 in
+  let count = ref 0 in
+  let outcome =
+    Campaign.drive ~rng:(rng 4) ~model:(Fault.uniform ~count:3) ~max_rounds:90
+      ~round:(fun () -> ())
+      ~any_alarm:(fun () -> false)
+      ~inject:(fun st m ->
+        incr count;
+        Fault.choose_victims st g m)
+      ~distance:(fun ~faults:_ -> None)
+  in
+  Alcotest.(check int) "exactly one burst" 1 !count;
+  Alcotest.(check int) "three victims" 3 outcome.Campaign.injections
+
+(* ---------------- detection distance: unreachable alarms ---------------- *)
+
+module Watcher = struct
+  type state = bool
+
+  let init _ _ = false
+  let step _ _ s _ = s
+  let alarm s = s
+  let equal = Bool.equal
+  let bits _ = 1
+  let corrupt _ _ _ _ = true
+  let corrupt_field _ _ _ (_ : state) = true
+end
+
+let two_components () = Graph.of_edges ~n:4 [ (0, 1, 1); (2, 3, 1) ]
+
+let detection_distance_unreachable () =
+  let g = two_components () in
+  Alcotest.(check (option int))
+    "alarm in the other component" None
+    (Dist.detection_distance g ~faults:[ 0 ] ~alarms:[ 3 ]);
+  Alcotest.(check (option int))
+    "alarm next door" (Some 1)
+    (Dist.detection_distance g ~faults:[ 0 ] ~alarms:[ 1 ]);
+  Alcotest.(check (option int))
+    "nearest reachable alarm wins" (Some 1)
+    (Dist.detection_distance g ~faults:[ 0 ] ~alarms:[ 1; 3 ]);
+  Alcotest.(check (option int))
+    "no alarms" None
+    (Dist.detection_distance g ~faults:[ 0 ] ~alarms:[]);
+  (* one fault sees only an unreachable alarm: the whole measurement is
+     undefined, not max_int (the old bug) *)
+  Alcotest.(check (option int))
+    "any unreachable fault poisons the max" None
+    (Dist.detection_distance g ~faults:[ 0; 2 ] ~alarms:[ 1 ])
+
+let net_detection_distance_unreachable () =
+  let module Net = Network.Naive (Watcher) in
+  let g = two_components () in
+  let net = Net.create g in
+  Net.set_state net 3 true;
+  Alcotest.(check (option int))
+    "engine-level: None, not Some max_int" None
+    (Net.detection_distance net ~faults:[ 0 ]);
+  Alcotest.(check (option int))
+    "engine-level: reachable alarm measured" (Some 1)
+    (Net.detection_distance net ~faults:[ 2 ])
+
+(* ---------------- transformer epoch re-injection ---------------- *)
+
+let transformer_inject_model () =
+  let g = graph 61 14 in
+  let t = Transformer.create g in
+  let before = t.Transformer.reconstructions in
+  let faults =
+    Transformer.inject_model t (rng 8)
+      (Fault.make ~placement:(Clustered { center = None; radius = 2 }) ~count:3 ())
+  in
+  Alcotest.(check bool) "victims chosen" true (faults <> []);
+  Transformer.advance t ~rounds:20_000;
+  Alcotest.(check bool)
+    "detection triggered a reconstruction" true
+    (t.Transformer.reconstructions > before);
+  Alcotest.(check bool)
+    "output is a spanning tree again" true
+    (Tree.n (Transformer.tree t) = Graph.n g)
+
+(* ---------------- campaign determinism + the O(f log n) bound ---------------- *)
+
+let sweep () =
+  Verifier_campaign.sweep ~families:[ "random" ] ~sizes:[ 16 ] ~fault_counts:[ 1; 2 ]
+    ~models:[ "uniform"; "clustered" ] ~seeds:2 ~seed:4242 ~max_rounds:50_000
+
+let campaign_seed_deterministic () =
+  let rows ts = List.map Campaign.trial_to_csv ts in
+  let a = sweep () and b = sweep () in
+  Alcotest.(check (list string)) "identical CSV for identical seed" (rows a) (rows b);
+  Alcotest.(check int) "full grid" (2 * 2 * 2) (List.length a);
+  List.iter
+    (fun (t : Campaign.trial) ->
+      Alcotest.(check bool)
+        "every trial detected" true
+        (t.outcome.detection_rounds <> None))
+    a
+
+let campaign_distance_bound () =
+  let trials =
+    Verifier_campaign.sweep ~families:[ "random" ] ~sizes:[ 32 ] ~fault_counts:[ 1; 2; 4 ]
+      ~models:[ "uniform" ] ~seeds:2 ~seed:7100 ~max_rounds:100_000
+  in
+  let log2n = int_of_float (ceil (Float.log2 32.)) in
+  List.iter
+    (fun (t : Campaign.trial) ->
+      match t.outcome.detection_distance with
+      | None -> Alcotest.fail "uniform trial undetected or unreachable"
+      | Some d ->
+          Alcotest.(check bool)
+            (Fmt.str "f=%d: distance %d within 3 f log n" t.spec.faults d)
+            true
+            (d <= 3 * t.spec.faults * log2n))
+    trials
+
+let suite =
+  [
+    Alcotest.test_case "victim choice is seed-deterministic" `Quick victims_deterministic;
+    Alcotest.test_case "uniform victims come back sorted" `Quick uniform_sorted_regression;
+    Alcotest.test_case "clustered victims stay in the ball" `Quick clustered_radius;
+    Alcotest.test_case "near-root picks the f closest nodes" `Quick near_root_closest;
+    Alcotest.test_case "targeted dedups and validates" `Quick targeted_dedup;
+    Alcotest.test_case "severity semantics" `Quick severity_semantics;
+    Alcotest.test_case "intermittent cadence re-injects on the period" `Quick intermittent_cadence;
+    Alcotest.test_case "one-shot cadence fires once" `Quick one_shot_cadence;
+    Alcotest.test_case "detection distance: unreachable alarm is None" `Quick
+      detection_distance_unreachable;
+    Alcotest.test_case "network detection distance across components" `Quick
+      net_detection_distance_unreachable;
+    Alcotest.test_case "transformer epoch re-injection" `Quick transformer_inject_model;
+    Alcotest.test_case "campaign is seed-deterministic" `Quick campaign_seed_deterministic;
+    Alcotest.test_case "uniform detection distance within O(f log n)" `Quick
+      campaign_distance_bound;
+  ]

@@ -28,5 +28,6 @@ let () =
       ("forge", Test_forge.suite);
       ("figure-1", Test_fig1.suite);
       ("engine-diff", Test_engine_diff.suite);
+      ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
     ]

@@ -19,6 +19,7 @@ module Flood = struct
   let equal (a : state) (b : state) = a = b
   let bits s = Memory.of_int s.best + Memory.of_bool
   let corrupt st _ _ s = { s with best = Random.State.int st 1000 }
+  let corrupt_field st _ _ s = { s with best = Random.State.int st 1000 }
 end
 
 module Net = Network.Make (Flood)

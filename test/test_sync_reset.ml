@@ -26,6 +26,7 @@ module Sync_bfs = struct
   let equal (a : state) (b : state) = a = b
   let bits s = Memory.of_int (min s.dist 1000000) + Memory.of_nat s.round
   let corrupt _ _ _ s = s
+  let corrupt_field _ _ _ s = s
 end
 
 module S = Synchronizer.Make (Sync_bfs)
@@ -85,6 +86,7 @@ module Alarmer = struct
   let equal (a : state) (b : state) = a = b
   let bits s = Memory.of_int s.id + Memory.of_nat s.steps + 1
   let corrupt _ _ _ s = { s with alarmed = true }
+  let corrupt_field _ _ _ s = { s with alarmed = true }
 end
 
 module R = Reset.Make (Alarmer)

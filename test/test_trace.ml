@@ -57,6 +57,7 @@ module Watch = struct
   let equal (a : state) (b : state) = a = b
   let bits s = Memory.of_int s.value + 1
   let corrupt st _ _ (s : state) = { s with value = 1 + Random.State.int st 100 }
+  let corrupt_field st _ _ (s : state) = { s with value = 1 + Random.State.int st 100 }
 end
 
 module Net = Network.Make (Watch)
@@ -120,6 +121,7 @@ module Flood = struct
   let equal (a : state) (b : state) = a = b
   let bits s = Memory.of_int s.best
   let corrupt st _ _ _ = { best = Random.State.int st 64 }
+  let corrupt_field st _ _ _ = { best = Random.State.int st 64 }
 end
 
 module FNet = Network.Make (Flood)
