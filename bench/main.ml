@@ -620,6 +620,130 @@ let fig_campaign () =
      placements and shrink for the clustered/near-root ones (faults share a ball).@."
 
 (* ==================================================================== *)
+(* OBS — runtime observatory overhead                                    *)
+(* ==================================================================== *)
+
+(* The observability tentpole's cost contract: running with the full
+   observatory attached (online invariant monitors on the engine's round
+   hook plus a sampling span profiler) must stay within 15% of the bare
+   engine.  The monitors' change-counter caching carries the quiescent
+   workload; the verifier workload is the worst case (every node writes
+   every round, so the monitors re-evaluate every round). *)
+let obs_budget = 0.15
+
+let fig_obs () =
+  header "OBS — runtime observatory overhead: probes on vs off (budget: 15%)";
+  let reps = 7 in
+  let time f =
+    ignore (f ());
+    (* best-of-reps: the minimum is the least scheduler-noise-polluted *)
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let failures = ref [] in
+  Fmt.pr "%-38s %12s %12s %10s@." "workload" "probes off" "probes on" "overhead";
+  line ();
+  let report name t_off t_on =
+    let ov = (t_on -. t_off) /. t_off in
+    Fmt.pr "%-38s %9.2f ms %9.2f ms %+9.1f%%@." name (1000. *. t_off) (1000. *. t_on)
+      (100. *. ov);
+    if ov > obs_budget then failures := Fmt.str "%s (%+.1f%%)" name (100. *. ov) :: !failures
+  in
+  (* churning workload: the BFS election re-converges after each periodic
+     fault burst (a pure quiescent tail would compare the monitors' O(1)
+     cached check against near-free skipped rounds, measuring only timer
+     noise; the cache itself is unit-tested in test_obs) *)
+  let g1 = Gen.random_connected (Gen.rng 8100) 256 in
+  let bfs_run probes () =
+    let module P = Ssmst_protocols.Ss_bfs.P in
+    let module Net = Network.Make (P) in
+    let net = Net.create g1 in
+    let drive () =
+      for k = 0 to 7 do
+        ignore (Net.inject_faults net (Gen.rng (8110 + k)) ~count:4);
+        Net.run net Scheduler.Sync ~rounds:128
+      done
+    in
+    if probes then (
+      let view =
+        {
+          Ssmst_obs.Monitor.graph = g1;
+          parent = (fun _ -> None);
+          bits = (fun v -> P.bits (Net.state net v));
+          alarm = (fun v -> P.alarm (Net.state net v));
+          peak_bits = (fun () -> Net.peak_bits net);
+          any_alarm = (fun () -> Net.any_alarm net);
+          change_counter =
+            (fun () ->
+              let m = Net.metrics net in
+              m.Metrics.register_writes + m.Metrics.faults_injected);
+        }
+      in
+      let mon = Ssmst_obs.Monitor.create ~metrics:(Net.metrics net) view in
+      Net.set_round_hook net (fun () -> Ssmst_obs.Monitor.check mon ~round:(Net.rounds net));
+      let sp =
+        Ssmst_obs.Span.create ~sample:(Ssmst_obs.Span.sampler_of_metrics (Net.metrics net)) ()
+      in
+      Ssmst_obs.Span.with_ sp Ssmst_obs.Span.Settle drive;
+      ignore (Ssmst_obs.Span.finish sp))
+    else drive ()
+  in
+  report "ss-bfs + faults n=256, 1024 rounds" (time (bfs_run false)) (time (bfs_run true));
+  (* write-heavy workload: the verifier rewrites every register every
+     round, so every monitored round pays a full re-evaluation *)
+  let g2 = Gen.random_connected (Gen.rng 8200) 128 in
+  let m2 = Marker.run g2 in
+  let module VC = struct
+    let marker = m2
+    let mode = Verifier.Passive
+  end in
+  let module VP = Verifier.Make (VC) in
+  let verifier_run probes () =
+    let module Net = Network.Make (VP) in
+    let net = Net.create g2 in
+    if probes then (
+      let view =
+        {
+          Ssmst_obs.Monitor.graph = g2;
+          parent = Tree.parent m2.Marker.tree;
+          bits = (fun v -> VP.bits (Net.state net v));
+          alarm = (fun v -> VP.alarm (Net.state net v));
+          peak_bits = (fun () -> Net.peak_bits net);
+          any_alarm = (fun () -> Net.any_alarm net);
+          change_counter =
+            (fun () ->
+              let m = Net.metrics net in
+              m.Metrics.register_writes + m.Metrics.faults_injected);
+        }
+      in
+      let mon = Ssmst_obs.Monitor.create ~metrics:(Net.metrics net) view in
+      Net.set_round_hook net (fun () -> Ssmst_obs.Monitor.check mon ~round:(Net.rounds net));
+      let sp =
+        Ssmst_obs.Span.create ~sample:(Ssmst_obs.Span.sampler_of_metrics (Net.metrics net)) ()
+      in
+      Ssmst_obs.Span.with_ sp Ssmst_obs.Span.Settle (fun () ->
+          Net.run net Scheduler.Sync ~rounds:600);
+      ignore (Ssmst_obs.Span.finish sp))
+    else Net.run net Scheduler.Sync ~rounds:600
+  in
+  report "verifier n=128, 600 rounds"
+    (time (verifier_run false))
+    (time (verifier_run true));
+  match !failures with
+  | [] -> Fmt.pr "observatory overhead within the %.0f%% budget.@." (100. *. obs_budget)
+  | fs ->
+      Fmt.pr "OBS overhead budget (%.0f%%) exceeded: %a@." (100. *. obs_budget)
+        Fmt.(list ~sep:comma string)
+        fs;
+      exit 1
+
+(* ==================================================================== *)
 (* Bechamel wall-clock suite: one Test.make per experiment driver        *)
 (* ==================================================================== *)
 
@@ -691,6 +815,7 @@ let all_experiments =
     ("ENGINE", fig_engine);
     ("CAMPAIGN", fig_campaign);
     ("ABL", (fun () -> ablation_threshold (); ablation_window ()));
+    ("OBS", fig_obs);
     ("BENCH", bechamel_suite);
   ]
 

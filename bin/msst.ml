@@ -222,6 +222,60 @@ let campaign families sizes fault_counts models seeds seed max_rounds csv_out js
       Fmt.pr "per-trial JSONL written to %s@." path);
   0
 
+(* ---------------- report ---------------- *)
+
+(* Run any scenario with the full observatory attached and render the
+   combined report (metrics + histograms + span tree + monitor verdicts)
+   as markdown, optionally mirroring the JSON form to a second file. *)
+let report scenario family n seed faults async_ epochs trials max_rounds md_out json_out =
+  if not (List.mem scenario Observatory.scenario_names) then begin
+    Fmt.epr "msst report: unknown scenario %s (known: %a)@." scenario
+      Fmt.(list ~sep:comma string)
+      Observatory.scenario_names;
+    exit 2
+  end;
+  if not (List.mem family Verifier_campaign.family_names) then begin
+    Fmt.epr "msst report: unknown family %s (known: %a)@." family
+      Fmt.(list ~sep:comma string)
+      Verifier_campaign.family_names;
+    exit 2
+  end;
+  let p =
+    {
+      Observatory.default_params with
+      Observatory.family;
+      n;
+      seed;
+      faults;
+      async = async_;
+      epochs;
+      trials;
+      max_rounds;
+    }
+  in
+  let r = Observatory.run ~scenario p in
+  let md = Ssmst_obs.Report.to_markdown r in
+  (match md_out with
+  | None -> print_string md
+  | Some path ->
+      let oc = open_out path in
+      output_string oc md;
+      close_out oc;
+      Fmt.epr "report written to %s@." path);
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Ssmst_obs.Report.to_json r);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.epr "JSON report written to %s@." path);
+  if Ssmst_obs.Report.all_monitors_ok r then 0
+  else begin
+    Fmt.epr "msst report: invariant monitor violation (see the report)@.";
+    1
+  end
+
 (* ---------------- labels ---------------- *)
 
 let labels family n seed =
@@ -381,6 +435,52 @@ let campaign_cmd =
       const campaign $ families_arg $ sizes_arg $ fault_counts_arg $ models_arg $ seeds_arg
       $ seed_arg $ max_rounds_arg $ campaign_csv_arg $ campaign_jsonl_arg)
 
+let scenario_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario to report on: construct, verify, stabilize, campaign.")
+
+let report_family_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "family" ] ~docv:"FAMILY" ~doc:"Graph family: random, path, ring, grid, complete, star.")
+
+let epochs_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "epochs" ] ~docv:"E" ~doc:"Fault-injection epochs (stabilize scenario).")
+
+let trials_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "trials" ] ~docv:"K" ~doc:"Injection seeds per fault model (campaign scenario).")
+
+let report_md_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the markdown report to $(docv) instead of stdout.")
+
+let report_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as one JSON object to $(docv).")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a scenario with the runtime observatory attached — phase-span profiler, \
+          log-bucketed histograms, online invariant monitors — and render one combined \
+          report as markdown (and optionally JSON).  Exits non-zero if any invariant \
+          monitor reports a violation.")
+    Term.(
+      const report $ scenario_arg $ report_family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg
+      $ epochs_arg $ trials_arg $ max_rounds_arg $ report_md_arg $ report_json_arg)
+
 let labels_cmd =
   Cmd.v
     (Cmd.info "labels" ~doc:"Print the Section 5 label strings of an instance.")
@@ -400,5 +500,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ construct_cmd; verify_cmd; stabilize_cmd; trace_cmd; campaign_cmd; labels_cmd;
-            compare_cmdliner ]))
+          [ construct_cmd; verify_cmd; stabilize_cmd; trace_cmd; campaign_cmd; report_cmd;
+            labels_cmd; compare_cmdliner ]))

@@ -86,10 +86,18 @@ let of_hierarchy ?(construction_rounds = 0) ?threshold (h : Fragment.hierarchy) 
   let label_bits = Array.fold_left (fun acc l -> max acc (label_bits l)) 0 labels in
   { graph = g; tree; hierarchy = h; assignment = a; labels; construction_rounds; label_bits }
 
-let run ?threshold (g : Graph.t) =
-  let r = Sync_mst.run g in
-  of_hierarchy ~construction_rounds:(r.rounds + partition_rounds r.hierarchy) ?threshold
-    r.hierarchy
+let run ?span ?threshold (g : Graph.t) =
+  let r = Sync_mst.run ?span g in
+  let pr = partition_rounds r.hierarchy in
+  let m = of_hierarchy ~construction_rounds:(r.rounds + pr) ?threshold r.hierarchy in
+  (* charge the Multi_Wave partition construction + train initialization and
+     the final label high-water to the observatory *)
+  (match span with
+  | Some sp ->
+      Ssmst_obs.Span.with_ sp (Ssmst_obs.Span.Named "marker-assembly") (fun () ->
+          Ssmst_obs.Span.charge sp ~rounds:pr ~peak_bits:m.label_bits ())
+  | None -> ());
+  m
 
 (* The strongest-adversary pipeline for tests and lower-bound experiments:
    given an arbitrary spanning tree [bad] of [g], produce the labels an

@@ -40,9 +40,11 @@ val partition_rounds : Fragment.hierarchy -> int
 val of_hierarchy : ?construction_rounds:int -> ?threshold:int -> Fragment.hierarchy -> t
 (** Assemble the labels for a given (already validated) hierarchy. *)
 
-val run : ?threshold:int -> Graph.t -> t
+val run : ?span:Ssmst_obs.Span.t -> ?threshold:int -> Graph.t -> t
 (** The honest marker: SYNC_MST + all labels.  [threshold] overrides the
-    Θ(log n) top/bottom cut-off (the ablation experiment). *)
+    Θ(log n) top/bottom cut-off (the ablation experiment).  [span] receives
+    SYNC_MST's phase spans plus a ["marker-assembly"] span charged the
+    partition-construction rounds. *)
 
 val forge : Graph.t -> Tree.t -> t
 (** The strongest adversary for tests and lower-bound experiments: labels an

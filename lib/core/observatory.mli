@@ -1,0 +1,33 @@
+open Ssmst_obs
+
+(** Scenario drivers for [msst report]: run one of the standard scenarios
+    — construct, verify, stabilize, campaign — with the full observatory
+    attached (span profiler, log-bucketed histograms, online invariant
+    monitors) and return one {!Report.t} combining engine metrics,
+    histograms, the span tree and the monitor verdicts. *)
+
+type params = {
+  family : string;
+  n : int;
+  seed : int;
+  faults : int;
+  async : bool;
+  epochs : int;  (** stabilize: fault-injection epochs *)
+  trials : int;  (** campaign: seeds per fault model *)
+  max_rounds : int;  (** detection budget *)
+  compact_c : int;
+  distance_c : int;
+}
+
+val default_params : params
+
+val scenario_names : string list
+(** ["construct"; "verify"; "stabilize"; "campaign"] *)
+
+val construct : params -> Report.t
+val verify : params -> Report.t
+val stabilize : params -> Report.t
+val campaign : params -> Report.t
+
+val run : scenario:string -> params -> Report.t
+(** Dispatch by name.  @raise Invalid_argument on an unknown scenario. *)

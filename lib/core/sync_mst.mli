@@ -18,5 +18,8 @@ type result = {
   peak_bits : int;  (** max per-node state size (Observation 4.3) *)
 }
 
-val run : Graph.t -> result
-(** @raise Graph.Malformed on disconnected inputs. *)
+val run : ?span:Ssmst_obs.Span.t -> Graph.t -> result
+(** [span] receives one [Fragment_level] span per phase with [Wave_sweep]
+    sub-spans for Count_Size and Find_Min_Out_Edge, charged per the
+    timetable; the per-phase round charges sum to [result.rounds].
+    @raise Graph.Malformed on disconnected inputs. *)

@@ -20,17 +20,53 @@ open Ssmst_sim
    Faults that corrupt the output after stabilization are detected within
    the verifier's detection time — O(log² n) synchronous rounds or
    O(Δ log³ n) asynchronous ones — at distance O(f log n) from the faults,
-   and repaired by one reconstruction. *)
+   and repaired by one reconstruction.
+
+   The observatory rides along when a {!observatory} config is supplied:
+   each construct-verify-repair cycle becomes an [Epoch] span (with
+   SYNC_MST's fragment-level spans nested under its [Construct] phase and
+   a [Detect] span covering each injection-to-alarm window), and the live
+   verification network carries the online invariant monitors through the
+   engine's round hook.  Monitor verdicts latch across epochs: a violation
+   in any epoch survives the reconstruction that discards the network it
+   was observed on. *)
 
 type event =
   | Constructed of int  (* rounds charged for election + SYNC_MST + marker *)
   | Detected of { rounds : int; distance : int option }  (* verification-phase detection *)
   | Quiescent of int  (* verification rounds with no alarm *)
 
+(* Cheap read-only accessors into the live verification network, re-bound at
+   every [install]: the observatory's report drivers read per-node register
+   sizes and last-write rounds without the network's module escaping. *)
+type probe = {
+  net_metrics : Metrics.t;
+  net_last_write : int -> int;
+  net_bits : int -> int;
+  net_rounds : unit -> int;
+}
+
+type observatory = {
+  span : Ssmst_obs.Span.t option;
+  monitor_trace : Trace.t option;  (* violations land here *)
+  monitors : bool;
+  compact_c : int;
+  distance_c : int;
+}
+
+let observatory ?span ?monitor_trace ?(monitors = true)
+    ?(compact_c = Ssmst_obs.Monitor.default_compact_c)
+    ?(distance_c = Ssmst_obs.Monitor.default_distance_c) () =
+  { span; monitor_trace; monitors; compact_c; distance_c }
+
+let no_observatory =
+  { span = None; monitor_trace = None; monitors = false; compact_c = 0; distance_c = 0 }
+
 type t = {
   graph : Graph.t;
   mode : Verifier.mode;
   daemon : Scheduler.t;
+  obs : observatory;
   mutable marker : Marker.t;
   mutable total_rounds : int;
   mutable reconstructions : int;
@@ -39,12 +75,61 @@ type t = {
   (* the live verification network, existentially packed *)
   mutable run_verify : int -> [ `Alarm of int * int option | `Quiet ];
   mutable inject : Random.State.t -> Fault.t -> int list;
+  mutable monitor : Ssmst_obs.Monitor.t option;  (* on the live network *)
+  mutable monitor_verdicts : (string * Ssmst_obs.Monitor.verdict) list;  (* latched *)
+  mutable probe : probe option;
 }
 
 (* Cost of one construction epoch: leader election + bounds (O(n)), then
    SYNC_MST + marker (O(n), measured). *)
 let construction_cost (g : Graph.t) (m : Marker.t) =
   (4 * Graph.n g) + m.construction_rounds
+
+(* ---------------- observatory plumbing ---------------- *)
+
+let span_charge (t : t) ?rounds ?peak_bits () =
+  match t.obs.span with
+  | Some sp -> Ssmst_obs.Span.charge sp ?rounds ?peak_bits ()
+  | None -> ()
+
+(* One construction, under a [Construct] span when profiled: SYNC_MST and
+   the marker charge their own timetable rounds; the election's O(n) and
+   the label high-water are settled here. *)
+let construct_marker_with span (g : Graph.t) =
+  match span with
+  | None -> Marker.run g
+  | Some sp ->
+      Ssmst_obs.Span.with_ sp Ssmst_obs.Span.Construct (fun () ->
+          let m = Marker.run ~span:sp g in
+          Ssmst_obs.Span.charge sp ~rounds:(4 * Graph.n g) ~peak_bits:m.Marker.label_bits ();
+          m)
+
+let construct_marker (t : t) = construct_marker_with t.obs.span t.graph
+
+(* Latch [fresh] monitor verdicts over the accumulated ones: the first
+   violation per monitor wins, across epochs. *)
+let merge_verdicts latched fresh =
+  List.map2
+    (fun (name, old) (_, now) ->
+      (name, match old with Ssmst_obs.Monitor.Violation _ -> old | Ok -> now))
+    latched fresh
+
+let flush_monitor (t : t) =
+  match t.monitor with
+  | None -> ()
+  | Some mon ->
+      t.monitor_verdicts <- merge_verdicts t.monitor_verdicts (Ssmst_obs.Monitor.results mon);
+      t.monitor <- None
+
+let monitor_results (t : t) =
+  match t.monitor with
+  | None -> t.monitor_verdicts
+  | Some mon -> merge_verdicts t.monitor_verdicts (Ssmst_obs.Monitor.results mon)
+
+let monitors_ok (t : t) =
+  List.for_all (fun (_, v) -> Ssmst_obs.Monitor.verdict_ok v) (monitor_results t)
+
+(* ---------------- the regimes ---------------- *)
 
 let install (t : t) =
   let m = t.marker in
@@ -55,6 +140,37 @@ let install (t : t) =
   let module P = Verifier.Make (C) in
   let module Net = Network.Make (P) in
   let net = Net.create t.graph in
+  t.probe <-
+    Some
+      {
+        net_metrics = Net.metrics net;
+        net_last_write = Net.last_write_round net;
+        net_bits = (fun v -> P.bits (Net.state net v));
+        net_rounds = (fun () -> Net.rounds net);
+      };
+  flush_monitor t;
+  if t.obs.monitors then begin
+    let view =
+      {
+        Ssmst_obs.Monitor.graph = t.graph;
+        parent = Tree.parent m.Marker.tree;
+        bits = (fun v -> P.bits (Net.state net v));
+        alarm = (fun v -> P.alarm (Net.state net v));
+        peak_bits = (fun () -> Net.peak_bits net);
+        any_alarm = (fun () -> Net.any_alarm net);
+        change_counter =
+          (fun () ->
+            let mm = Net.metrics net in
+            mm.Metrics.register_writes + mm.Metrics.faults_injected);
+      }
+    in
+    let mon =
+      Ssmst_obs.Monitor.create ?trace:t.obs.monitor_trace ~metrics:(Net.metrics net)
+        ~compact_c:t.obs.compact_c ~distance_c:t.obs.distance_c view
+    in
+    t.monitor <- Some mon;
+    Net.set_round_hook net (fun () -> Ssmst_obs.Monitor.check mon ~round:(Net.rounds net))
+  end;
   let run_with_faults faults budget =
     let executed, reached = Net.run_until net t.daemon ~max_rounds:budget Net.any_alarm in
     t.peak_bits <- max t.peak_bits (Net.peak_bits net);
@@ -64,18 +180,25 @@ let install (t : t) =
   t.inject <-
     (fun st model ->
       let faults = Net.inject net st model in
+      (match t.monitor with
+      | Some mon -> Ssmst_obs.Monitor.note_injection mon ~round:(Net.rounds net) ~faults
+      | None -> ());
       t.run_verify <- run_with_faults faults;
       faults)
 
 (* Start from an arbitrary initial configuration: the transformer's first
    act is a reconstruction. *)
-let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) (g : Graph.t) =
-  let marker = Marker.run g in
+let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) ?(obs = no_observatory) g =
+  (match obs.span with
+  | Some sp -> Ssmst_obs.Span.open_ sp (Ssmst_obs.Span.Epoch 0)
+  | None -> ());
+  let marker = construct_marker_with obs.span g in
   let t =
     {
       graph = g;
       mode;
       daemon;
+      obs;
       marker;
       total_rounds = 0;
       reconstructions = 0;
@@ -83,9 +206,13 @@ let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) (g : Graph.t) =
       peak_bits = 0;
       run_verify = (fun _ -> `Quiet);
       inject = (fun _ _ -> []);
+      monitor = None;
+      monitor_verdicts =
+        List.map (fun n -> (n, Ssmst_obs.Monitor.Ok)) Ssmst_obs.Monitor.names;
+      probe = None;
     }
   in
-  let cost = construction_cost g marker in
+  let cost = construction_cost g t.marker in
   t.total_rounds <- cost;
   t.reconstructions <- 1;
   t.history <- [ Constructed cost ];
@@ -93,7 +220,16 @@ let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) (g : Graph.t) =
   t
 
 let reconstruct (t : t) =
-  t.marker <- Marker.run t.graph;
+  (match t.monitor with
+  | Some mon -> Ssmst_obs.Monitor.note_reset mon ~round:t.total_rounds
+  | None -> ());
+  (* one construct-verify-repair cycle per [Epoch] span *)
+  (match t.obs.span with
+  | Some sp ->
+      Ssmst_obs.Span.close sp;
+      Ssmst_obs.Span.open_ sp (Ssmst_obs.Span.Epoch t.reconstructions)
+  | None -> ());
+  t.marker <- construct_marker t;
   let cost = construction_cost t.graph t.marker in
   t.total_rounds <- t.total_rounds + cost;
   t.reconstructions <- t.reconstructions + 1;
@@ -105,8 +241,15 @@ let advance (t : t) ~rounds =
   match t.run_verify rounds with
   | `Quiet ->
       t.total_rounds <- t.total_rounds + rounds;
+      span_charge t ~rounds ();
       t.history <- Quiescent rounds :: t.history
   | `Alarm (dt, dist) ->
+      (match t.obs.span with
+      | Some sp ->
+          Ssmst_obs.Span.with_ sp Ssmst_obs.Span.Detect (fun () ->
+              Ssmst_obs.Span.charge sp ~rounds:dt ())
+      | None -> ());
+      span_charge t ~rounds:(2 * Graph.n t.graph) ();  (* the reset wave *)
       t.total_rounds <- t.total_rounds + dt + (2 * Graph.n t.graph);
       t.history <- Detected { rounds = dt; distance = dist } :: t.history;
       reconstruct t

@@ -14,10 +14,48 @@ type event =
   | Detected of { rounds : int; distance : int option }
   | Quiescent of int
 
+(** Cheap read-only accessors into the live verification network, re-bound
+    at every reconstruction: the observatory's report drivers read per-node
+    register sizes and last-write rounds through these without the
+    network's first-class module escaping. *)
+type probe = {
+  net_metrics : Metrics.t;
+  net_last_write : int -> int;
+  net_bits : int -> int;
+  net_rounds : unit -> int;
+}
+
+(** The observatory ride-along: an optional span profiler (each
+    construct-verify-repair cycle becomes an [Epoch] span, with SYNC_MST's
+    fragment-level spans under its [Construct] phase and a [Detect] span
+    per injection-to-alarm window) and the online invariant monitors
+    attached to the live verification network through the engine's round
+    hook. *)
+type observatory = {
+  span : Ssmst_obs.Span.t option;
+  monitor_trace : Trace.t option;  (** violations land here *)
+  monitors : bool;
+  compact_c : int;
+  distance_c : int;
+}
+
+val observatory :
+  ?span:Ssmst_obs.Span.t ->
+  ?monitor_trace:Trace.t ->
+  ?monitors:bool ->
+  ?compact_c:int ->
+  ?distance_c:int ->
+  unit ->
+  observatory
+(** Monitors default on, with {!Ssmst_obs.Monitor}'s default constants. *)
+
+val no_observatory : observatory
+
 type t = {
   graph : Graph.t;
   mode : Verifier.mode;
   daemon : Scheduler.t;
+  obs : observatory;
   mutable marker : Marker.t;
   mutable total_rounds : int;
   mutable reconstructions : int;
@@ -25,13 +63,23 @@ type t = {
   mutable peak_bits : int;
   mutable run_verify : int -> [ `Alarm of int * int option | `Quiet ];
   mutable inject : Random.State.t -> Fault.t -> int list;
+  mutable monitor : Ssmst_obs.Monitor.t option;  (** on the live network *)
+  mutable monitor_verdicts : (string * Ssmst_obs.Monitor.verdict) list;
+      (** latched across epochs; read via {!monitor_results} *)
+  mutable probe : probe option;
 }
 
 val construction_cost : Graph.t -> Marker.t -> int
 
-val create : ?mode:Verifier.mode -> ?daemon:Scheduler.t -> Graph.t -> t
+val create : ?mode:Verifier.mode -> ?daemon:Scheduler.t -> ?obs:observatory -> Graph.t -> t
 (** Start from an arbitrary configuration: the first act is a
     reconstruction (Theorem 10.2: O(n) stabilization). *)
+
+val monitor_results : t -> (string * Ssmst_obs.Monitor.verdict) list
+(** Latched across every epoch so far: the first violation per monitor
+    survives the reconstructions that discard the network it was seen on. *)
+
+val monitors_ok : t -> bool
 
 val reconstruct : t -> unit
 

@@ -1,0 +1,118 @@
+(* HDR-style log-bucketed histograms: fixed 64-bucket memory, O(1) record,
+   O(buckets) merge and quantile queries.
+
+   Bucket 0 holds the value 0 (and any clamped negatives); bucket i >= 1
+   holds [2^(i-1), 2^i - 1], i.e. the values whose binary size is i bits.
+   That matches the repo's {!Ssmst_sim.Memory.of_nat} size measure, so a
+   bucket boundary is exactly a "one more bit" step — the right resolution
+   for auditing O(log n)-shaped claims: per-node register bits, convergence
+   rounds, alarm latencies.
+
+   Quantiles are bucket-resolution upper bounds clamped to the observed
+   extremes: [quantile h q] never under-reports by more than the bucket
+   width and is exact at the recorded min/max. *)
+
+let buckets = 64
+
+type t = {
+  counts : int array;  (* [buckets] cells, log-indexed *)
+  mutable total : int;
+  mutable vmin : int;  (* smallest recorded value; max_int when empty *)
+  mutable vmax : int;  (* largest recorded value; min_int when empty *)
+  mutable sum : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; total = 0; vmin = max_int; vmax = min_int; sum = 0 }
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  t.total <- 0;
+  t.vmin <- max_int;
+  t.vmax <- min_int;
+  t.sum <- 0
+
+(* Index of the bucket holding [v]: its bit size, clamped into range. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc x = if x = 0 then acc else bits (acc + 1) (x lsr 1) in
+    min (buckets - 1) (bits 0 v)
+  end
+
+(* Largest value of bucket [i] (its inclusive upper bound). *)
+let bucket_upper i = if i <= 0 then 0 else (1 lsl i) - 1
+
+let record t v =
+  let v = max 0 v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.total <- t.total + 1;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  t.sum <- t.sum + v
+
+let count t = t.total
+let is_empty t = t.total = 0
+let max_value t = if t.total = 0 then 0 else t.vmax
+let min_value t = if t.total = 0 then 0 else t.vmin
+let mean t = if t.total = 0 then 0. else float_of_int t.sum /. float_of_int t.total
+
+(* Merge [b] into [a] (the campaign path: per-trial histograms folded into
+   the sweep-wide one). *)
+let merge_into a b =
+  for i = 0 to buckets - 1 do
+    a.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  a.total <- a.total + b.total;
+  if b.vmin < a.vmin then a.vmin <- b.vmin;
+  if b.vmax > a.vmax then a.vmax <- b.vmax;
+  a.sum <- a.sum + b.sum
+
+let merge a b =
+  let t = create () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+(* The smallest value [x] such that at least [ceil (q * total)] recorded
+   values are <= [x], at bucket resolution (clamped to the observed min and
+   max so the extremes are exact). *)
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+    let rec go i cum =
+      if i >= buckets then t.vmax
+      else
+        let cum = cum + t.counts.(i) in
+        if cum >= rank then min t.vmax (max t.vmin (bucket_upper i)) else go (i + 1) cum
+    in
+    go 0 0
+  end
+
+let p50 t = quantile t 0.5
+let p90 t = quantile t 0.9
+let p99 t = quantile t 0.99
+
+(* Non-empty buckets, oldest-first: [(bucket_upper, count)]. *)
+let nonzero t =
+  let acc = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_upper i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let to_json ?(label = "") t =
+  let prefix = if label = "" then "" else Fmt.str {|"label":"%s",|} (Ssmst_sim.Trace.json_escape label) in
+  Fmt.str
+    {|{%s"count":%d,"min":%d,"p50":%d,"p90":%d,"p99":%d,"max":%d,"mean":%.2f,"buckets":[%s]}|}
+    prefix t.total (min_value t) (p50 t) (p90 t) (p99 t) (max_value t) (mean t)
+    (String.concat ","
+       (List.map (fun (ub, c) -> Fmt.str {|{"le":%d,"count":%d}|} ub c) (nonzero t)))
+
+let pp ppf t =
+  if t.total = 0 then Fmt.pf ppf "(empty)"
+  else
+    Fmt.pf ppf "n=%d min=%d p50=%d p90=%d p99=%d max=%d" t.total (min_value t) (p50 t)
+      (p90 t) (p99 t) (max_value t)

@@ -1,0 +1,48 @@
+(** HDR-style log-bucketed histograms: fixed 64-bucket memory, O(1)
+    {!record}, bucket-resolution quantiles.
+
+    Bucket 0 holds the value 0; bucket [i >= 1] holds the values of binary
+    size [i] bits ([2^(i-1) .. 2^i - 1]), matching the
+    {!Ssmst_sim.Memory.of_nat} size measure — one bucket step is "one more
+    bit", the right resolution for auditing the paper's O(log n)-shaped
+    quantities (per-node register bits, convergence rounds, alarm
+    latencies). *)
+
+type t
+
+val buckets : int
+(** Fixed bucket count (64). *)
+
+val create : unit -> t
+val clear : t -> unit
+
+val record : t -> int -> unit
+(** O(1).  Negative values are clamped to 0. *)
+
+val count : t -> int
+val is_empty : t -> bool
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val merge_into : t -> t -> unit
+(** [merge_into a b] folds [b]'s recordings into [a]. *)
+
+val merge : t -> t -> t
+
+val quantile : t -> float -> int
+(** Smallest value [x] (at bucket resolution, clamped to the observed
+    extremes) such that at least [ceil (q * count)] recordings are [<= x].
+    0 on an empty histogram. *)
+
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+
+val nonzero : t -> (int * int) list
+(** Non-empty buckets as [(upper_bound, count)], smallest bucket first. *)
+
+val to_json : ?label:string -> t -> string
+(** One JSON object: a JSONL line. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+open Ssmst_sim
+
+(* The rendering layer of the observatory: one value combining everything a
+   run produced — engine metrics, log-bucketed histograms, the span tree,
+   monitor verdicts, free-form notes — rendered once as markdown (for
+   humans and CI artifacts) and once as JSON (for downstream tooling).
+
+   Purely presentational: this module never runs anything, so it can live
+   below the protocol layers; the scenario drivers that *fill* a report
+   live in [lib/core/observatory.ml]. *)
+
+type t = {
+  title : string;
+  scenario : (string * string) list;  (* key/value header lines, in order *)
+  mutable metrics : (string * Metrics.t) list;  (* one row per network, newest last *)
+  mutable hists : (string * Hist.t) list;
+  mutable spans : Span.node option;
+  mutable monitors : (string * Monitor.verdict) list;
+  mutable notes : string list;  (* newest last *)
+}
+
+let create ~title ~scenario () =
+  { title; scenario; metrics = []; hists = []; spans = None; monitors = []; notes = [] }
+
+let add_metrics t label m = t.metrics <- t.metrics @ [ (label, m) ]
+let add_hist t label h = t.hists <- t.hists @ [ (label, h) ]
+let set_spans t root = t.spans <- Some root
+let set_monitors t results = t.monitors <- results
+let add_note t s = t.notes <- t.notes @ [ s ]
+
+let all_monitors_ok t =
+  List.for_all (fun (_, v) -> Monitor.verdict_ok v) t.monitors
+
+(* ---------------- markdown ---------------- *)
+
+let md_escape s =
+  (* enough for our own labels: keep table cells from breaking *)
+  String.concat "\\|" (String.split_on_char '|' s)
+
+let metrics_table ppf rows =
+  Fmt.pf ppf "| network | rounds | activations | writes | wasted | skipped | peak bits | faults | alarms +/- | violations |@.";
+  Fmt.pf ppf "|---|---|---|---|---|---|---|---|---|---|@.";
+  List.iter
+    (fun (label, (m : Metrics.t)) ->
+      Fmt.pf ppf "| %s | %d | %d | %d | %d | %d | %d | %d | %d/%d | %d |@." (md_escape label)
+        m.rounds m.activations m.register_writes m.wasted_steps m.skipped_activations
+        m.peak_bits m.faults_injected m.alarms_raised m.alarms_cleared m.monitor_violations)
+    rows
+
+let hist_table ppf hists =
+  Fmt.pf ppf "| histogram | n | min | p50 | p90 | p99 | max | mean |@.";
+  Fmt.pf ppf "|---|---|---|---|---|---|---|---|@.";
+  List.iter
+    (fun (label, h) ->
+      Fmt.pf ppf "| %s | %d | %d | %d | %d | %d | %d | %.2f |@." (md_escape label)
+        (Hist.count h) (Hist.min_value h) (Hist.p50 h) (Hist.p90 h) (Hist.p99 h)
+        (Hist.max_value h) (Hist.mean h))
+    hists
+
+let span_tree ppf root =
+  List.iter
+    (fun (depth, n) ->
+      Fmt.pf ppf "%s- %a@." (String.make (2 * depth) ' ') Span.pp_node n)
+    (Span.depth_first root)
+
+let monitor_table ppf monitors =
+  Fmt.pf ppf "| monitor | verdict |@.";
+  Fmt.pf ppf "|---|---|@.";
+  List.iter
+    (fun (name, v) -> Fmt.pf ppf "| %s | %a |@." (md_escape name) Monitor.pp_verdict v)
+    monitors
+
+let to_markdown t =
+  Fmt.str "%t" (fun ppf ->
+      Fmt.pf ppf "# %s@.@." t.title;
+      if t.scenario <> [] then begin
+        List.iter (fun (k, v) -> Fmt.pf ppf "- **%s**: %s@." k v) t.scenario;
+        Fmt.pf ppf "@."
+      end;
+      if t.monitors <> [] then begin
+        Fmt.pf ppf "## Invariant monitors%s@.@."
+          (if all_monitors_ok t then " — all ok" else " — VIOLATIONS");
+        monitor_table ppf t.monitors;
+        Fmt.pf ppf "@."
+      end;
+      if t.metrics <> [] then begin
+        Fmt.pf ppf "## Metrics@.@.";
+        metrics_table ppf t.metrics;
+        Fmt.pf ppf "@."
+      end;
+      if t.hists <> [] then begin
+        Fmt.pf ppf "## Histograms@.@.";
+        hist_table ppf t.hists;
+        Fmt.pf ppf "@.";
+        List.iter
+          (fun (label, h) ->
+            match Hist.nonzero h with
+            | [] -> ()
+            | cells ->
+                Fmt.pf ppf "%s buckets (value &le; upper bound): %s@.@." (md_escape label)
+                  (String.concat ", "
+                     (List.map (fun (ub, c) -> Fmt.str "&le;%d:%d" ub c) cells)))
+          t.hists
+      end;
+      (match t.spans with
+      | None -> ()
+      | Some root ->
+          Fmt.pf ppf "## Span tree@.@.";
+          Fmt.pf ppf
+            "Counts are inclusive: a span covers its children.  Indentation is nesting.@.@.";
+          Fmt.pf ppf "```@.";
+          span_tree ppf root;
+          Fmt.pf ppf "```@.@.");
+      if t.notes <> [] then begin
+        Fmt.pf ppf "## Notes@.@.";
+        List.iter (fun s -> Fmt.pf ppf "- %s@." s) t.notes;
+        Fmt.pf ppf "@."
+      end)
+
+(* ---------------- JSON ---------------- *)
+
+let to_json t =
+  let str s = Fmt.str {|"%s"|} (Trace.json_escape s) in
+  let scenario =
+    String.concat ","
+      (List.map (fun (k, v) -> Fmt.str "%s:%s" (str k) (str v)) t.scenario)
+  in
+  let metrics =
+    String.concat ","
+      (List.map (fun (label, m) -> Metrics.to_json ~label m) t.metrics)
+  in
+  let hists =
+    String.concat "," (List.map (fun (label, h) -> Hist.to_json ~label h) t.hists)
+  in
+  let monitors =
+    String.concat ","
+      (List.map
+         (fun (name, v) -> Fmt.str "%s:%s" (str name) (Monitor.verdict_to_json v))
+         t.monitors)
+  in
+  let notes = String.concat "," (List.map str t.notes) in
+  Fmt.str
+    {|{"title":%s,"scenario":{%s},"monitors":{%s},"monitors_ok":%b,"metrics":[%s],"histograms":[%s],"spans":%s,"notes":[%s]}|}
+    (str t.title) scenario monitors (all_monitors_ok t) metrics hists
+    (match t.spans with None -> "null" | Some root -> Span.node_to_json root)
+    notes

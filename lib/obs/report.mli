@@ -1,0 +1,28 @@
+open Ssmst_sim
+
+(** The rendering layer of the observatory: one value combining everything
+    a run produced — engine metrics, log-bucketed histograms, the span
+    tree, monitor verdicts, free-form notes — rendered once as markdown
+    (for humans and CI artifacts) and once as JSON (for tooling).
+
+    Purely presentational: nothing here runs a scenario; the drivers that
+    fill a report live in the core library's [Observatory] module. *)
+
+type t
+
+val create : title:string -> scenario:(string * string) list -> unit -> t
+(** [scenario] is the key/value header block (graph family, n, seed, ...). *)
+
+val add_metrics : t -> string -> Metrics.t -> unit
+(** One row per network, labelled; rows render in insertion order. *)
+
+val add_hist : t -> string -> Hist.t -> unit
+val set_spans : t -> Span.node -> unit
+val set_monitors : t -> (string * Monitor.verdict) list -> unit
+val add_note : t -> string -> unit
+
+val all_monitors_ok : t -> bool
+(** True when no monitor verdict is a violation (vacuously on none). *)
+
+val to_markdown : t -> string
+val to_json : t -> string

@@ -18,6 +18,7 @@ type t = {
   mutable alarms_raised : int;  (* false -> true transitions *)
   mutable alarms_cleared : int;  (* true -> false transitions *)
   mutable peak_bits : int;  (* largest register ever held *)
+  mutable monitor_violations : int;  (* online invariant-monitor verdicts *)
 }
 
 let create () =
@@ -32,6 +33,7 @@ let create () =
     alarms_raised = 0;
     alarms_cleared = 0;
     peak_bits = 0;
+    monitor_violations = 0;
   }
 
 let reset t =
@@ -44,7 +46,8 @@ let reset t =
   t.faults_injected <- 0;
   t.alarms_raised <- 0;
   t.alarms_cleared <- 0;
-  t.peak_bits <- 0
+  t.peak_bits <- 0;
+  t.monitor_violations <- 0
 
 (* The round after which no register changed again: the run's effective
    convergence point (writes at round r happen *during* round r, counted
@@ -53,23 +56,26 @@ let rounds_to_quiescence t = t.last_write_round
 
 let csv_header =
   "rounds,activations,register_writes,wasted_steps,skipped_activations,"
-  ^ "rounds_to_quiescence,faults_injected,alarms_raised,alarms_cleared,peak_bits"
+  ^ "rounds_to_quiescence,faults_injected,alarms_raised,alarms_cleared,peak_bits,"
+  ^ "monitor_violations"
 
 let to_csv_row t =
-  Fmt.str "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d" t.rounds t.activations t.register_writes
+  Fmt.str "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d" t.rounds t.activations t.register_writes
     t.wasted_steps t.skipped_activations (rounds_to_quiescence t) t.faults_injected
-    t.alarms_raised t.alarms_cleared t.peak_bits
+    t.alarms_raised t.alarms_cleared t.peak_bits t.monitor_violations
 
 let to_json ?(label = "") t =
   let prefix = if label = "" then "" else Fmt.str {|"label":%S,|} label in
   Fmt.str
-    {|{%s"rounds":%d,"activations":%d,"register_writes":%d,"wasted_steps":%d,"skipped_activations":%d,"rounds_to_quiescence":%d,"faults_injected":%d,"alarms_raised":%d,"alarms_cleared":%d,"peak_bits":%d}|}
+    {|{%s"rounds":%d,"activations":%d,"register_writes":%d,"wasted_steps":%d,"skipped_activations":%d,"rounds_to_quiescence":%d,"faults_injected":%d,"alarms_raised":%d,"alarms_cleared":%d,"peak_bits":%d,"monitor_violations":%d}|}
     prefix t.rounds t.activations t.register_writes t.wasted_steps t.skipped_activations
     (rounds_to_quiescence t) t.faults_injected t.alarms_raised t.alarms_cleared t.peak_bits
+    t.monitor_violations
 
 let pp ppf t =
   Fmt.pf ppf
     "rounds %d; activations %d (writes %d, wasted %d, skipped %d); quiescent after %d; faults \
-     %d; alarms +%d/-%d; peak %d bits"
+     %d; alarms +%d/-%d; peak %d bits; violations %d"
     t.rounds t.activations t.register_writes t.wasted_steps t.skipped_activations
     (rounds_to_quiescence t) t.faults_injected t.alarms_raised t.alarms_cleared t.peak_bits
+    t.monitor_violations

@@ -16,6 +16,7 @@ type t = {
   mutable alarms_raised : int;
   mutable alarms_cleared : int;
   mutable peak_bits : int;
+  mutable monitor_violations : int;
 }
 
 val create : unit -> t

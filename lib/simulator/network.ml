@@ -150,8 +150,14 @@ module Make (P : Protocol.S) = struct
        [P.alarm states.(v)]; [alarm_count] counts set flags. *)
     alarm_flags : bool array;
     mutable alarm_count : int;
+    (* per-node last-write round: feeds per-node convergence histograms *)
+    last_write : int array;
     metrics : Metrics.t;
     mutable trace : Trace.t option;
+    (* called after every completed round (observability probes: online
+       invariant monitors, span round attribution).  Must not mutate
+       states. *)
+    mutable round_hook : (unit -> unit) option;
   }
 
   let mark_dirty t v =
@@ -183,8 +189,10 @@ module Make (P : Protocol.S) = struct
         frontier = List.init n Fun.id;
         alarm_flags;
         alarm_count = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alarm_flags;
+        last_write = Array.make n 0;
         metrics = Metrics.create ();
         trace;
+        round_hook = None;
       }
     in
     t.metrics.Metrics.peak_bits <- peak;
@@ -199,6 +207,17 @@ module Make (P : Protocol.S) = struct
   let attach_trace t tr = t.trace <- Some tr
   let detach_trace t = t.trace <- None
 
+  (* Observability probe: [f] runs after every completed round.  Probes are
+     read-only by contract — the differential suite asserts that a run with
+     hooks attached stays bit-identical to the naive engine. *)
+  let set_round_hook t f = t.round_hook <- Some f
+  let clear_round_hook t = t.round_hook <- None
+  let fire_round_hook t = match t.round_hook with None -> () | Some f -> f ()
+
+  (* The round of the most recent write to [v]'s register (0 if never
+     rewritten): per-node convergence, for the observatory's histograms. *)
+  let last_write_round t v = t.last_write.(v)
+
   (* The single register-write path: every state mutation funnels through
      here so that peak-bits, alarm counts, metrics and the trace stay
      consistent without any per-round O(n) rescans. *)
@@ -209,6 +228,7 @@ module Make (P : Protocol.S) = struct
     if b > t.metrics.Metrics.peak_bits then t.metrics.Metrics.peak_bits <- b;
     t.metrics.Metrics.register_writes <- t.metrics.Metrics.register_writes + 1;
     t.metrics.Metrics.last_write_round <- round;
+    t.last_write.(v) <- round;
     emit t (Trace.Register_write { round; node = v; bits = b });
     let was = t.alarm_flags.(v) and now = P.alarm s' in
     if was <> now then begin
@@ -280,7 +300,8 @@ module Make (P : Protocol.S) = struct
       (fun (v, s') ->
         apply_write t ~round v s';
         dirty_neighbourhood t v)
-      writes
+      writes;
+    fire_round_hook t
 
   (* Compact the frontier after an async round: within-round flag churn
      leaves stale entries behind; without compaction they would accumulate
@@ -329,7 +350,8 @@ module Make (P : Protocol.S) = struct
       schedule;
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
-    compact t
+    compact t;
+    fire_round_hook t
 
   let round t daemon = if Scheduler.is_sync daemon then sync_round t else async_round t daemon
 

@@ -4,8 +4,10 @@
    events are dropped (and counted) so that attaching a trace to an
    arbitrarily long run costs O(capacity) memory.  The engine records an
    event per activation, register write, alarm transition, fault injection
-   and convergence check, which makes the paper's round/bit/distance claims
-   observable per run instead of only as aggregates. *)
+   and convergence check; the observability layer (Ssmst_obs) additionally
+   records span open/close marks and online-monitor verdicts, which makes
+   the paper's round/bit/distance claims observable per run instead of only
+   as aggregates. *)
 
 type event =
   | Activation of { round : int; node : int }
@@ -17,6 +19,10 @@ type event =
   | Fault_injected of { round : int; node : int }
   | Convergence of { round : int; reached : bool }
       (* emitted by [run_until] when it stops *)
+  | Span_mark of { round : int; label : string; enter : bool }
+      (* a phase span opened ([enter]) or closed at [round] *)
+  | Invariant_violation of { round : int; node : int option; monitor : string; detail : string }
+      (* an online monitor found the snapshot of [round] in violation *)
 
 type t = {
   buf : event option array;
@@ -67,6 +73,8 @@ let event_name = function
   | Alarm_cleared _ -> "alarm_cleared"
   | Fault_injected _ -> "fault_injected"
   | Convergence _ -> "convergence"
+  | Span_mark _ -> "span_mark"
+  | Invariant_violation _ -> "invariant_violation"
 
 let event_round = function
   | Activation { round; _ }
@@ -74,7 +82,9 @@ let event_round = function
   | Alarm_raised { round; _ }
   | Alarm_cleared { round; _ }
   | Fault_injected { round; _ }
-  | Convergence { round; _ } ->
+  | Convergence { round; _ }
+  | Span_mark { round; _ }
+  | Invariant_violation { round; _ } ->
       round
 
 let event_node = function
@@ -84,7 +94,31 @@ let event_node = function
   | Alarm_cleared { node; _ }
   | Fault_injected { node; _ } ->
       Some node
-  | Convergence _ -> None
+  | Invariant_violation { node; _ } -> node
+  | Convergence _ | Span_mark _ -> None
+
+(* ---------------- JSON string escaping ---------------- *)
+
+(* Standard JSON escaping: quotes, backslashes, the common control
+   characters by name, everything else below 0x20 as \u00XX.  OCaml's %S is
+   close but not JSON ([\027] style decimal escapes are invalid JSON), so
+   labels and monitor details are escaped by hand. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
 (* ---------------- sinks ---------------- *)
 
@@ -94,27 +128,198 @@ let event_to_json e =
   match e with
   | Register_write { node; bits; _ } -> Fmt.str {|{%s,"node":%d,"bits":%d}|} base node bits
   | Convergence { reached; _ } -> Fmt.str {|{%s,"reached":%b}|} base reached
+  | Span_mark { label; enter; _ } ->
+      Fmt.str {|{%s,"label":"%s","enter":%b}|} base (json_escape label) enter
+  | Invariant_violation { node; monitor; detail; _ } ->
+      let node_field = match node with None -> "" | Some v -> Fmt.str {|"node":%d,|} v in
+      Fmt.str {|{%s,%s"monitor":"%s","detail":"%s"}|} base node_field (json_escape monitor)
+        (json_escape detail)
   | Activation { node; _ }
   | Alarm_raised { node; _ }
   | Alarm_cleared { node; _ }
   | Fault_injected { node; _ } ->
       Fmt.str {|{%s,"node":%d}|} base node
 
+(* ---------------- a flat-object JSON reader ---------------- *)
+
+(* Just enough JSON to round-trip the objects [event_to_json] emits: one
+   flat object of string / int / bool fields.  Unknown shapes return
+   [None]; used by tests and external-tool sanity checks, not by any hot
+   path. *)
+
+type json_field = Jstr of string | Jint of int | Jbool of bool
+
+exception Bad_json
+
+let parse_flat_object (s : string) =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos >= len then raise Bad_json else s.[!pos] in
+  let advance () = incr pos in
+  let expect c = if peek () <> c then raise Bad_json else advance () in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'; advance ()
+          | '\\' -> Buffer.add_char b '\\'; advance ()
+          | '/' -> Buffer.add_char b '/'; advance ()
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > len then raise Bad_json;
+              let code =
+                try int_of_string ("0x" ^ String.sub s !pos 4) with Failure _ -> raise Bad_json
+              in
+              (* the escaper only emits \u00XX for control bytes *)
+              if code > 0xff then raise Bad_json;
+              Buffer.add_char b (Char.chr code);
+              pos := !pos + 4
+          | _ -> raise Bad_json);
+          go ()
+      | c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> Jstr (parse_string ())
+    | 't' ->
+        if !pos + 4 <= len && String.sub s !pos 4 = "true" then (pos := !pos + 4; Jbool true)
+        else raise Bad_json
+    | 'f' ->
+        if !pos + 5 <= len && String.sub s !pos 5 = "false" then (pos := !pos + 5; Jbool false)
+        else raise Bad_json
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        if peek () = '-' then advance ();
+        while !pos < len && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+          advance ()
+        done;
+        if !pos = start then raise Bad_json;
+        Jint (int_of_string (String.sub s start (!pos - start)))
+    | _ -> raise Bad_json
+  in
+  try
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    if peek () = '}' then advance ()
+    else begin
+      let rec members () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        skip_ws ();
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); members ()
+        | '}' -> advance ()
+        | _ -> raise Bad_json
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !pos <> len then raise Bad_json;
+    Some (List.rev !fields)
+  with Bad_json -> None
+
+(* Inverse of [event_to_json] for well-formed event objects. *)
+let event_of_json line =
+  match parse_flat_object line with
+  | None -> None
+  | Some fields -> (
+      let str k = match List.assoc_opt k fields with Some (Jstr s) -> Some s | _ -> None in
+      let int k = match List.assoc_opt k fields with Some (Jint i) -> Some i | _ -> None in
+      let bool k = match List.assoc_opt k fields with Some (Jbool b) -> Some b | _ -> None in
+      match (str "event", int "round") with
+      | Some "activation", Some round ->
+          Option.map (fun node -> Activation { round; node }) (int "node")
+      | Some "register_write", Some round -> (
+          match (int "node", int "bits") with
+          | Some node, Some bits -> Some (Register_write { round; node; bits })
+          | _ -> None)
+      | Some "alarm_raised", Some round ->
+          Option.map (fun node -> Alarm_raised { round; node }) (int "node")
+      | Some "alarm_cleared", Some round ->
+          Option.map (fun node -> Alarm_cleared { round; node }) (int "node")
+      | Some "fault_injected", Some round ->
+          Option.map (fun node -> Fault_injected { round; node }) (int "node")
+      | Some "convergence", Some round ->
+          Option.map (fun reached -> Convergence { round; reached }) (bool "reached")
+      | Some "span_mark", Some round -> (
+          match (str "label", bool "enter") with
+          | Some label, Some enter -> Some (Span_mark { round; label; enter })
+          | _ -> None)
+      | Some "invariant_violation", Some round -> (
+          match (str "monitor", str "detail") with
+          | Some monitor, Some detail ->
+              Some (Invariant_violation { round; node = int "node"; monitor; detail })
+          | _ -> None)
+      | _ -> None)
+
 let write_jsonl oc t = iter (fun e -> output_string oc (event_to_json e ^ "\n")) t
 
-let csv_header = "event,round,node,bits,reached"
+let csv_header = "event,round,node,bits,reached,label,enter,monitor,detail"
+
+(* RFC-4180-style quoting, applied only when the cell needs it. *)
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c -> if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
 
 let event_to_csv e =
   let node = match event_node e with Some v -> string_of_int v | None -> "" in
   let bits = match e with Register_write { bits; _ } -> string_of_int bits | _ -> "" in
   let reached = match e with Convergence { reached; _ } -> string_of_bool reached | _ -> "" in
-  Fmt.str "%s,%d,%s,%s,%s" (event_name e) (event_round e) node bits reached
+  let label = match e with Span_mark { label; _ } -> csv_escape label | _ -> "" in
+  let enter = match e with Span_mark { enter; _ } -> string_of_bool enter | _ -> "" in
+  let monitor =
+    match e with Invariant_violation { monitor; _ } -> csv_escape monitor | _ -> ""
+  in
+  let detail = match e with Invariant_violation { detail; _ } -> csv_escape detail | _ -> "" in
+  Fmt.str "%s,%d,%s,%s,%s,%s,%s,%s,%s" (event_name e) (event_round e) node bits reached label
+    enter monitor detail
 
 let write_csv oc t =
   output_string oc (csv_header ^ "\n");
   iter (fun e -> output_string oc (event_to_csv e ^ "\n")) t
 
 let pp_event ppf e =
-  match event_node e with
-  | Some v -> Fmt.pf ppf "[%d] %s node %d" (event_round e) (event_name e) v
-  | None -> Fmt.pf ppf "[%d] %s" (event_round e) (event_name e)
+  match e with
+  | Span_mark { round; label; enter } ->
+      Fmt.pf ppf "[%d] span %s %s" round (if enter then "open" else "close") label
+  | Invariant_violation { round; node; monitor; detail } ->
+      Fmt.pf ppf "[%d] violation %s%a: %s" round monitor
+        Fmt.(option (fun ppf v -> Fmt.pf ppf " at node %d" v))
+        node detail
+  | _ -> (
+      match event_node e with
+      | Some v -> Fmt.pf ppf "[%d] %s node %d" (event_round e) (event_name e) v
+      | None -> Fmt.pf ppf "[%d] %s" (event_round e) (event_name e))

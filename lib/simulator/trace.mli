@@ -2,9 +2,11 @@
 
     Attach a trace to a {!Network.Make} instance and every activation,
     register write, alarm transition, fault injection and convergence check
-    is recorded as a typed event.  The buffer is bounded: once [capacity]
-    events are held, the oldest are dropped (and counted in {!dropped}), so
-    tracing an arbitrarily long run costs O(capacity) memory. *)
+    is recorded as a typed event; the observability layer ([Ssmst_obs])
+    additionally records phase-span marks and online-monitor verdicts.  The
+    buffer is bounded: once [capacity] events are held, the oldest are
+    dropped (and counted in {!dropped}), so tracing an arbitrarily long run
+    costs O(capacity) memory. *)
 
 type event =
   | Activation of { round : int; node : int }
@@ -13,6 +15,12 @@ type event =
   | Alarm_cleared of { round : int; node : int }
   | Fault_injected of { round : int; node : int }
   | Convergence of { round : int; reached : bool }
+  | Span_mark of { round : int; label : string; enter : bool }
+      (** a phase span opened ([enter = true]) or closed at [round] *)
+  | Invariant_violation of { round : int; node : int option; monitor : string; detail : string }
+      (** an online monitor found the settled snapshot of [round] in
+          violation; [node] pinpoints the first offending node when one
+          exists *)
 
 type t
 
@@ -44,12 +52,25 @@ val event_name : event -> string
 val event_round : event -> int
 val event_node : event -> int option
 
+val json_escape : string -> string
+(** Standard JSON string escaping (quotes, backslashes, control bytes). *)
+
 val event_to_json : event -> string
-(** One JSON object, no trailing newline: a JSONL line. *)
+(** One JSON object, no trailing newline: a JSONL line.  Label, monitor and
+    detail strings are escaped with {!json_escape}. *)
+
+val event_of_json : string -> event option
+(** Inverse of {!event_to_json}: parse one JSONL line back into the event it
+    encodes, or [None] if the line is not a well-formed event object.  Every
+    event round-trips: [event_of_json (event_to_json e) = Some e]. *)
 
 val write_jsonl : out_channel -> t -> unit
 
 val csv_header : string
+
+val csv_escape : string -> string
+(** RFC-4180-style quoting, applied only when the cell needs it. *)
+
 val event_to_csv : event -> string
 val write_csv : out_channel -> t -> unit
 

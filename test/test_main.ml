@@ -30,4 +30,5 @@ let () =
       ("engine-diff", Test_engine_diff.suite);
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -35,8 +35,21 @@ let test_json_csv () =
   Alcotest.(check string)
     "write json" {|{"event":"register_write","round":3,"node":1,"bits":17}|}
     (Trace.event_to_json w);
-  Alcotest.(check string) "write csv" "register_write,3,1,17," (Trace.event_to_csv w);
-  Alcotest.(check string) "convergence csv" "convergence,20,,,true" (Trace.event_to_csv c)
+  Alcotest.(check string) "write csv" "register_write,3,1,17,,,,," (Trace.event_to_csv w);
+  Alcotest.(check string) "convergence csv" "convergence,20,,,true,,,," (Trace.event_to_csv c);
+  (* every event's CSV row matches the header's arity *)
+  let arity s = List.length (String.split_on_char ',' s) in
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Fmt.str "csv arity: %s" (Trace.event_to_csv e))
+        (arity Trace.csv_header) (arity (Trace.event_to_csv e)))
+    [
+      a; c; w;
+      Trace.Span_mark { round = 4; label = "plain"; enter = true };
+      Trace.Invariant_violation
+        { round = 9; node = Some 3; monitor = "forest"; detail = "plain detail" };
+    ]
 
 (* ---------------- a fault-detecting toy protocol ---------------- *)
 
