@@ -32,6 +32,18 @@ let family_arg =
 let faults_arg =
   Arg.(value & opt int 1 & info [ "faults" ] ~docv:"F" ~doc:"Number of faults to inject.")
 
+(* the one output-format selector shared by trace / report / explain / replay *)
+type fmt = Json | Csv | Md
+
+let fmt_conv = Arg.enum [ ("json", Json); ("csv", Csv); ("md", Md) ]
+
+let format_arg default =
+  Arg.(
+    value & opt fmt_conv default
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,json), $(b,csv) or $(b,md).")
+
+let md_cell s = String.concat "\\|" (String.split_on_char '|' s)
+
 let async_arg =
   Arg.(value & flag & info [ "async" ] ~doc:"Use the asynchronous daemon and handshake mode.")
 
@@ -125,7 +137,7 @@ let stabilize family n seed faults async_ =
    detection; emit the events as JSONL.  The trace therefore opens at the
    injection and is guaranteed to retain the fault-injected and
    alarm-raised events of the run. *)
-let trace_run family n seed faults async_ out capacity =
+let trace_run family n seed faults async_ out capacity fmt =
   if capacity <= 0 then begin
     Fmt.epr "msst trace: --capacity must be positive (got %d)@." capacity;
     exit 2
@@ -152,7 +164,17 @@ let trace_run family n seed faults async_ out capacity =
   | Some dt -> Fmt.epr "detected after %d rounds@." dt
   | None -> Fmt.epr "no detection (the corruption was semantically null)@.");
   let oc, close = match out with None -> (stdout, false) | Some f -> (open_out f, true) in
-  Trace.write_jsonl oc tr;
+  (match fmt with
+  | Json -> Trace.write_jsonl oc tr
+  | Csv -> Trace.write_csv oc tr
+  | Md ->
+      output_string oc "| # | event |\n|---|---|\n";
+      let i = ref 0 in
+      Trace.iter
+        (fun e ->
+          Printf.fprintf oc "| %d | %s |\n" !i (md_cell (Fmt.str "%a" Trace.pp_event e));
+          incr i)
+        tr);
   if close then close_out oc else flush oc;
   Fmt.epr "trace: %d events emitted (%d recorded, %d dropped by the ring buffer)@."
     (Trace.length tr) (Trace.total tr) (Trace.dropped tr);
@@ -227,7 +249,7 @@ let campaign families sizes fault_counts models seeds seed max_rounds csv_out js
 (* Run any scenario with the full observatory attached and render the
    combined report (metrics + histograms + span tree + monitor verdicts)
    as markdown, optionally mirroring the JSON form to a second file. *)
-let report scenario family n seed faults async_ epochs trials max_rounds md_out json_out =
+let report scenario family n seed faults async_ epochs trials max_rounds md_out json_out fmt =
   if not (List.mem scenario Observatory.scenario_names) then begin
     Fmt.epr "msst report: unknown scenario %s (known: %a)@." scenario
       Fmt.(list ~sep:comma string)
@@ -254,12 +276,17 @@ let report scenario family n seed faults async_ epochs trials max_rounds md_out 
     }
   in
   let r = Observatory.run ~scenario p in
-  let md = Ssmst_obs.Report.to_markdown r in
+  let rendered =
+    match fmt with
+    | Md -> Ssmst_obs.Report.to_markdown r
+    | Json -> Ssmst_obs.Report.to_json r ^ "\n"
+    | Csv -> Ssmst_obs.Report.to_csv r
+  in
   (match md_out with
-  | None -> print_string md
+  | None -> print_string rendered
   | Some path ->
       let oc = open_out path in
-      output_string oc md;
+      output_string oc rendered;
       close_out oc;
       Fmt.epr "report written to %s@." path);
   (match json_out with
@@ -275,6 +302,250 @@ let report scenario family n seed faults async_ epochs trials max_rounds md_out 
     Fmt.epr "msst report: invariant monitor violation (see the report)@.";
     1
   end
+
+(* ---------------- explain ---------------- *)
+
+let parse_alarm s =
+  let int_of part =
+    match int_of_string_opt part with
+    | Some v when v >= 0 -> v
+    | _ ->
+        Fmt.epr "msst explain: bad --alarm %S (expected NODE or NODE@ROUND)@." s;
+        exit 2
+  in
+  match String.index_opt s '@' with
+  | None -> (int_of s, None)
+  | Some i ->
+      ( int_of (String.sub s 0 i),
+        Some (int_of (String.sub s (i + 1) (String.length s - i - 1))) )
+
+let flight_params cmd family n seed faults clustered interval capacity max_rounds
+    distance_c =
+  if not (List.mem family Verifier_campaign.family_names) then begin
+    Fmt.epr "msst %s: unknown family %s (known: %a)@." cmd family
+      Fmt.(list ~sep:comma string)
+      Verifier_campaign.family_names;
+    exit 2
+  end;
+  if interval <= 0 || capacity <= 0 then begin
+    Fmt.epr "msst %s: --interval and --capacity must be positive@." cmd;
+    exit 2
+  end;
+  { Flight.family; n; seed; faults; clustered; interval; capacity; max_rounds; distance_c }
+
+let with_out out f =
+  match out with
+  | None ->
+      f stdout;
+      flush stdout
+  | Some path ->
+      let oc = open_out path in
+      f oc;
+      close_out oc;
+      Fmt.epr "written to %s@." path
+
+let witness_json (w : Flight.witness) =
+  let hops =
+    String.concat ","
+      (List.map
+         (fun (r, v, fields) ->
+           Fmt.str {|{"round":%d,"node":%d,"fields":[%s]}|} r v
+             (String.concat ","
+                (List.map (fun f -> Fmt.str {|"%s"|} (Trace.json_escape f)) fields)))
+         w.Flight.hops)
+  in
+  Fmt.str
+    {|{"alarm_node":%d,"alarm_round":%d,"fault":%s,"node_changes":%d,"bound":%d,"within_bound":%b,"error":%s,"path":[%s]}|}
+    w.Flight.alarm_node w.Flight.alarm_round
+    (match w.Flight.fault with None -> "null" | Some f -> string_of_int f)
+    w.Flight.node_changes w.Flight.bound w.Flight.within_bound
+    (match w.Flight.error with
+    | None -> "null"
+    | Some e -> Fmt.str {|"%s"|} (Trace.json_escape e))
+    hops
+
+let witness_path_string (w : Flight.witness) =
+  String.concat " "
+    (List.map
+       (fun (r, v, fields) -> Fmt.str "%d:%d:%s" r v (String.concat "+" fields))
+       w.Flight.hops)
+
+(* Re-run a seeded verifier fault scenario with the flight recorder
+   attached and walk each alarm's provenance chain back to its injection;
+   the witness hop count is checked against the Section 2.4 bound. *)
+let explain_run family n seed faults clustered interval capacity max_rounds distance_c
+    alarm fmt out =
+  let p =
+    flight_params "explain" family n seed faults clustered interval capacity max_rounds
+      distance_c
+  in
+  let alarm = Option.map parse_alarm alarm in
+  let r = Flight.record_verify ?alarm p in
+  if r.Flight.dropped > 0 then
+    Fmt.epr
+      "msst explain: warning: the delta ring dropped %d write(s); chains crossing the \
+       drop horizon will report as broken@."
+      r.Flight.dropped;
+  let int_list l = String.concat "," (List.map string_of_int l) in
+  with_out out (fun oc ->
+      match fmt with
+      | Json ->
+          Printf.fprintf oc
+            {|{"family":"%s","n":%d,"seed":%d,"faults":%d,"settled_round":%d,"victims":[%s],"detection":%s,"alarms":[%s],"total_writes":%d,"dropped":%d,"checkpoints":[%s],"end_equal":%b,"witnesses":[%s]}|}
+            (Trace.json_escape family) r.Flight.n seed faults r.Flight.settled_round
+            (int_list r.Flight.victims)
+            (match r.Flight.detection with None -> "null" | Some d -> string_of_int d)
+            (int_list r.Flight.alarms) r.Flight.total_writes r.Flight.dropped
+            (int_list r.Flight.checkpoints) r.Flight.end_equal
+            (String.concat "," (List.map witness_json r.Flight.witnesses));
+          output_char oc '\n'
+      | Csv ->
+          output_string oc
+            "alarm_node,alarm_round,fault,node_changes,bound,within_bound,error,path\n";
+          List.iter
+            (fun (w : Flight.witness) ->
+              Printf.fprintf oc "%d,%d,%s,%d,%d,%b,%s,%s\n" w.Flight.alarm_node
+                w.Flight.alarm_round
+                (match w.Flight.fault with None -> "" | Some f -> string_of_int f)
+                w.Flight.node_changes w.Flight.bound w.Flight.within_bound
+                (Trace.csv_escape (Option.value ~default:"" w.Flight.error))
+                (Trace.csv_escape (witness_path_string w)))
+            r.Flight.witnesses
+      | Md ->
+          Printf.fprintf oc "# msst explain — fault → alarm witnesses\n\n";
+          Printf.fprintf oc "- **instance**: %s, n=%d, seed=%d, faults=%d (%s)\n" family
+            r.Flight.n seed faults
+            (if clustered then "clustered" else "uniform");
+          Printf.fprintf oc "- **settled round**: %d; **victims**: %s\n"
+            r.Flight.settled_round (int_list r.Flight.victims);
+          Printf.fprintf oc "- **detection**: %s; **alarms**: %s\n"
+            (match r.Flight.detection with
+            | None -> "none"
+            | Some d -> Fmt.str "%d round(s)" d)
+            (int_list r.Flight.alarms);
+          Printf.fprintf oc
+            "- **recorder**: %d write(s), %d dropped, checkpoints at %s; replayed end \
+             state equals live: %b\n"
+            r.Flight.total_writes r.Flight.dropped (int_list r.Flight.checkpoints)
+            r.Flight.end_equal;
+          List.iter
+            (fun (w : Flight.witness) ->
+              Printf.fprintf oc "\n## alarm at node %d (round %d)\n\n" w.Flight.alarm_node
+                w.Flight.alarm_round;
+              match w.Flight.error with
+              | Some e -> Printf.fprintf oc "no witness: %s\n" (md_cell e)
+              | None ->
+                  Printf.fprintf oc
+                    "fault #%s reached the alarm in %d graph hop(s) over %d write(s) — \
+                     detection-distance bound %d: %s\n\n"
+                    (match w.Flight.fault with None -> "?" | Some f -> string_of_int f)
+                    w.Flight.node_changes
+                    (List.length w.Flight.hops)
+                    w.Flight.bound
+                    (if w.Flight.within_bound then "ok" else "VIOLATED");
+                  Printf.fprintf oc "| round | node | changed fields |\n|---|---|---|\n";
+                  List.iter
+                    (fun (rd, v, fields) ->
+                      Printf.fprintf oc "| %d | %d | %s |\n" rd v
+                        (md_cell (String.concat "," fields)))
+                    w.Flight.hops)
+            r.Flight.witnesses);
+  if r.Flight.witnesses = [] then begin
+    Fmt.epr "msst explain: no alarms were raised (nothing to explain)@.";
+    0
+  end
+  else if
+    List.exists
+      (fun (w : Flight.witness) -> w.Flight.error <> None || w.Flight.fault = None)
+      r.Flight.witnesses
+  then begin
+    Fmt.epr "msst explain: at least one provenance chain is broken@.";
+    3
+  end
+  else if
+    List.exists (fun (w : Flight.witness) -> not w.Flight.within_bound) r.Flight.witnesses
+    || not r.Flight.end_equal
+  then begin
+    Fmt.epr "msst explain: witness outside the detection-distance bound@.";
+    1
+  end
+  else 0
+
+(* ---------------- replay ---------------- *)
+
+let replay_run family n seed faults clustered interval capacity max_rounds seek steps diff
+    fmt out =
+  let p =
+    flight_params "replay" family n seed faults clustered interval capacity max_rounds
+      Ssmst_obs.Monitor.default_distance_c
+  in
+  let r = Flight.replay_probe p ~seek ~steps ~diff in
+  if r.Flight.dropped > 0 then
+    Fmt.epr
+      "msst replay: warning: the delta ring dropped %d write(s); rounds before %s replay \
+       inexactly@."
+      r.Flight.dropped
+      (match r.Flight.sound_from with
+      | None -> "the end of the recording"
+      | Some s -> Fmt.str "round %d" s);
+  let int_list l = String.concat "," (List.map string_of_int l) in
+  with_out out (fun oc ->
+      match fmt with
+      | Json ->
+          Printf.fprintf oc
+            {|{"family":"%s","n":%d,"seed":%d,"start_round":%d,"last_round":%d,"total_writes":%d,"dropped":%d,"sound_from":%s,"checkpoints":[%s],"divergence":%s,"end_equal":%b,"views":[%s]}|}
+            (Trace.json_escape family) n seed r.Flight.start_round r.Flight.last_round
+            r.Flight.total_writes r.Flight.dropped
+            (match r.Flight.sound_from with None -> "null" | Some s -> string_of_int s)
+            (int_list r.Flight.checkpoints)
+            (match r.Flight.divergence with
+            | None -> "null"
+            | Some (rd, v, f) ->
+                Fmt.str {|{"round":%d,"node":%d,"field":"%s"}|} rd v (Trace.json_escape f))
+            r.Flight.end_equal
+            (String.concat ","
+               (List.map
+                  (fun (v : Flight.view) ->
+                    Fmt.str {|{"round":%d,"exact":%b,"changed":%d}|} v.Flight.round
+                      v.Flight.exact v.Flight.changed)
+                  r.Flight.views));
+          output_char oc '\n'
+      | Csv ->
+          output_string oc "round,exact,changed\n";
+          List.iter
+            (fun (v : Flight.view) ->
+              Printf.fprintf oc "%d,%b,%d\n" v.Flight.round v.Flight.exact v.Flight.changed)
+            r.Flight.views
+      | Md ->
+          Printf.fprintf oc "# msst replay — checkpointed time travel\n\n";
+          Printf.fprintf oc "- **instance**: %s, n=%d, seed=%d, faults=%d\n" family n seed
+            faults;
+          Printf.fprintf oc
+            "- **recording**: rounds %d..%d, %d write(s), %d dropped, checkpoints at %s\n"
+            r.Flight.start_round r.Flight.last_round r.Flight.total_writes r.Flight.dropped
+            (int_list r.Flight.checkpoints);
+          (if diff then
+             match r.Flight.divergence with
+             | None ->
+                 Printf.fprintf oc
+                   "- **bisector**: event-driven and naive recordings agree (end states \
+                    equal: %b)\n"
+                   r.Flight.end_equal
+             | Some (rd, v, f) ->
+                 Printf.fprintf oc
+                   "- **bisector**: first divergence at round %d, node %d, field %s\n" rd v
+                   (md_cell f));
+          Printf.fprintf oc "\n| round | exact | changed nodes |\n|---|---|---|\n";
+          List.iter
+            (fun (v : Flight.view) ->
+              Printf.fprintf oc "| %d | %b | %d |\n" v.Flight.round v.Flight.exact
+                v.Flight.changed)
+            r.Flight.views);
+  if diff && (r.Flight.divergence <> None || not r.Flight.end_equal) then begin
+    Fmt.epr "msst replay: the two engines diverged@.";
+    1
+  end
+  else 0
 
 (* ---------------- labels ---------------- *)
 
@@ -360,6 +631,15 @@ let capacity_arg =
     & opt int Trace.default_capacity
     & info [ "capacity" ] ~docv:"K" ~doc:"Ring-buffer capacity (oldest events are dropped beyond it).")
 
+let max_rounds_arg =
+  Arg.(
+    value & opt int 20000
+    & info [ "max-rounds" ] ~docv:"R"
+        ~doc:
+          "Per-trial detection budget in rounds.  Benign faults (e.g. crash-reset of a \
+           settled verifier node) never alarm and run the whole budget, so this bounds \
+           the cost of undetected trials.")
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
@@ -367,7 +647,90 @@ let trace_cmd =
          "Run a fault-injection scenario on the verifier and emit the engine's event trace \
           as JSON lines (one event per line); diagnostics go to stderr.")
     Term.(const trace_run $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg $ out_arg
-          $ capacity_arg)
+          $ capacity_arg $ format_arg Json)
+
+(* ---------------- explain / replay wiring ---------------- *)
+
+let interval_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "interval" ] ~docv:"K" ~doc:"Checkpoint every at most $(docv) rounds.")
+
+let flight_family_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Graph family: random, path, ring, grid, complete, star, hypertree (the \
+           Section 9 lower-bound instances; n rounds down to 2^(h+1)-1).")
+
+let clustered_arg =
+  Arg.(
+    value & flag
+    & info [ "clustered" ] ~doc:"Clustered fault placement (radius 2) instead of uniform.")
+
+let distance_c_arg =
+  Arg.(
+    value
+    & opt int Ssmst_obs.Monitor.default_distance_c
+    & info [ "distance-c" ] ~docv:"C"
+        ~doc:"Constant in the detection-distance bound C*f*ceil(log2 n).")
+
+let alarm_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "alarm" ] ~docv:"NODE[@ROUND]"
+        ~doc:
+          "Explain only this alarm: the node's first alarming write (at or before ROUND \
+           when given).  Default: every alarming node.")
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Record a verifier fault scenario with the flight recorder attached and walk the \
+          causal provenance of each alarm backwards — register write by register write — \
+          to the fault injection that seeded it.  Each witness's graph-hop count is \
+          checked against the detection-distance bound C*f*ceil(log2 n) (Section 2.4).  \
+          Exits 3 when a provenance chain is broken, 1 when a witness violates the bound.")
+    Term.(
+      const explain_run $ flight_family_arg $ n_arg $ seed_arg $ faults_arg $ clustered_arg
+      $ interval_arg $ capacity_arg $ max_rounds_arg $ distance_c_arg $ alarm_arg
+      $ format_arg Md $ out_arg)
+
+let seek_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seek" ] ~docv:"R" ~doc:"Reconstruct the state at round $(docv) first.")
+
+let steps_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "steps" ] ~docv:"K" ~doc:"Step $(docv) recorded rounds forward from the seek point.")
+
+let diff_arg =
+  Arg.(
+    value & flag
+    & info [ "diff" ]
+        ~doc:
+          "Also record the naive reference engine's twin run and bisect for the first \
+           (round, node, field) divergence.")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Record an ss-bfs stabilization run (plus one fault burst) with the checkpointed \
+          flight recorder, then time-travel: seek to any round in O(interval + writes), \
+          step forward, and optionally bisect the event-driven engine against the naive \
+          reference for the first diverging (round, node, field).  Exits 1 when --diff \
+          finds a divergence.")
+    Term.(
+      const replay_run $ flight_family_arg $ n_arg $ seed_arg $ faults_arg $ clustered_arg
+      $ interval_arg $ capacity_arg $ max_rounds_arg $ seek_arg $ steps_arg $ diff_arg
+      $ format_arg Md $ out_arg)
 
 let families_arg =
   Arg.(
@@ -401,15 +764,6 @@ let seeds_arg =
   Arg.(
     value & opt int 3
     & info [ "seeds" ] ~docv:"K" ~doc:"Instances (seeds) per family x size grid point.")
-
-let max_rounds_arg =
-  Arg.(
-    value & opt int 20000
-    & info [ "max-rounds" ] ~docv:"R"
-        ~doc:
-          "Per-trial detection budget in rounds.  Benign faults (e.g. crash-reset of a \
-           settled verifier node) never alarm and run the whole budget, so this bounds \
-           the cost of undetected trials.")
 
 let campaign_csv_arg =
   Arg.(
@@ -479,7 +833,8 @@ let report_cmd =
           monitor reports a violation.")
     Term.(
       const report $ scenario_arg $ report_family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg
-      $ epochs_arg $ trials_arg $ max_rounds_arg $ report_md_arg $ report_json_arg)
+      $ epochs_arg $ trials_arg $ max_rounds_arg $ report_md_arg $ report_json_arg
+      $ format_arg Md)
 
 let labels_cmd =
   Cmd.v
@@ -501,4 +856,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ construct_cmd; verify_cmd; stabilize_cmd; trace_cmd; campaign_cmd; report_cmd;
-            labels_cmd; compare_cmdliner ]))
+            explain_cmd; replay_cmd; labels_cmd; compare_cmdliner ]))

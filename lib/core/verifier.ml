@@ -665,4 +665,17 @@ module Make (C : CONFIG) = struct
       | _ -> { l with Marker.sp_depth = l.Marker.sp_depth + 1 + Random.State.int st 7 }
     in
     { s with label; cmp = cmp_init; alarm = false }
+
+  let field_names = [| "label"; "train_top"; "train_bot"; "cmp"; "alarm" |]
+
+  (* compound fields are fingerprinted; the deep-sampling [hash_field]
+     keeps single-piece label perturbations visible in the encoding *)
+  let encode (s : state) =
+    [|
+      Protocol.hash_field s.label;
+      Protocol.hash_field s.train_top;
+      Protocol.hash_field s.train_bot;
+      Protocol.hash_field s.cmp;
+      Bool.to_int s.alarm;
+    |]
 end

@@ -7,7 +7,7 @@ open Ssmst_sim
    restores the snapshot into a fresh network, injects per the model and
    drives to the first alarm. *)
 
-let family_names = [ "random"; "path"; "ring"; "grid"; "complete"; "star" ]
+let family_names = [ "random"; "path"; "ring"; "grid"; "complete"; "star"; "hypertree" ]
 
 let graph_of_family family st n =
   match family with
@@ -19,6 +19,12 @@ let graph_of_family family st n =
       Gen.grid st side side
   | "complete" -> Gen.complete st n
   | "star" -> Gen.star st n
+  | "hypertree" ->
+      (* the §9 lower-bound family; n is rounded down to the nearest
+         complete-binary-tree size 2^(h+1)-1 (h >= 2). *)
+      let h = ref 2 in
+      while (1 lsl (!h + 2)) - 1 <= n do incr h done;
+      fst (Gen.hypertree_like st !h)
   | _ -> invalid_arg (Fmt.str "Verifier_campaign.graph_of_family: unknown family %S" family)
 
 type instance = {

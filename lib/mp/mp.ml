@@ -153,6 +153,17 @@ module Emulate (M : MESSAGE_PROTOCOL) = struct
   let corrupt _ _ _ s = s (* the emulation hosts non-stabilizing protocols *)
   let corrupt_field _ _ _ s = s
 
+  let field_names = [| "inner"; "links"; "acks"; "deferred"; "delivered" |]
+
+  let encode (s : state) =
+    [|
+      Protocol.hash_field s.inner;
+      Protocol.hash_field s.links;
+      Protocol.hash_field s.acks;
+      Protocol.hash_field s.deferred;
+      s.delivered;
+    |]
+
   (* no message queued, in flight, or deferred anywhere *)
   let quiescent_node (s : state) =
     s.deferred = []

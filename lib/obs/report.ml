@@ -117,6 +117,53 @@ let to_markdown t =
         Fmt.pf ppf "@."
       end)
 
+(* ---------------- CSV ---------------- *)
+
+(* the flat form: one (section, key, value) row per fact, for spreadsheet
+   ingestion; histograms flatten to their summary statistics and the span
+   tree to depth-first rows *)
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let esc = Trace.csv_escape in
+  let row s k v = Buffer.add_string buf (Fmt.str "%s,%s,%s\n" (esc s) (esc k) (esc v)) in
+  Buffer.add_string buf "section,key,value\n";
+  row "report" "title" t.title;
+  List.iter (fun (k, v) -> row "scenario" k v) t.scenario;
+  List.iter
+    (fun (name, v) -> row "monitor" name (Fmt.str "%a" Monitor.pp_verdict v))
+    t.monitors;
+  if t.monitors <> [] then row "monitor" "all_ok" (string_of_bool (all_monitors_ok t));
+  List.iter
+    (fun (label, (m : Metrics.t)) ->
+      List.iter
+        (fun (k, v) -> row ("metrics:" ^ label) k (string_of_int v))
+        [ ("rounds", m.rounds); ("activations", m.activations);
+          ("register_writes", m.register_writes); ("wasted_steps", m.wasted_steps);
+          ("skipped_activations", m.skipped_activations); ("peak_bits", m.peak_bits);
+          ("faults_injected", m.faults_injected); ("alarms_raised", m.alarms_raised);
+          ("alarms_cleared", m.alarms_cleared);
+          ("monitor_violations", m.monitor_violations) ])
+    t.metrics;
+  List.iter
+    (fun (label, h) ->
+      List.iter
+        (fun (k, v) -> row ("hist:" ^ label) k v)
+        [ ("count", string_of_int (Hist.count h));
+          ("min", string_of_int (Hist.min_value h));
+          ("p50", string_of_int (Hist.p50 h)); ("p90", string_of_int (Hist.p90 h));
+          ("p99", string_of_int (Hist.p99 h));
+          ("max", string_of_int (Hist.max_value h));
+          ("mean", Fmt.str "%.2f" (Hist.mean h)) ])
+    t.hists;
+  (match t.spans with
+  | None -> ()
+  | Some root ->
+      List.iter
+        (fun (depth, n) -> row "span" (string_of_int depth) (Fmt.str "%a" Span.pp_node n))
+        (Span.depth_first root));
+  List.iteri (fun i s -> row "note" (string_of_int i) s) t.notes;
+  Buffer.contents buf
+
 (* ---------------- JSON ---------------- *)
 
 let to_json t =

@@ -26,3 +26,7 @@ val all_monitors_ok : t -> bool
 
 val to_markdown : t -> string
 val to_json : t -> string
+
+val to_csv : t -> string
+(** Flat [section,key,value] rows: metrics and histograms one statistic
+    per row, the span tree depth-first.  For spreadsheet ingestion. *)

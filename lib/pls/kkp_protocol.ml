@@ -87,4 +87,7 @@ module Make (C : CONFIG) = struct
               Pieces.weight = { w with Weight.base = w.Weight.base + 1 + Random.State.int st 7 };
             };
         { label = { l with Kkp_pls.pieces }; alarm = false }
+
+  let field_names = [| "label"; "alarm" |]
+  let encode (s : state) = [| Ssmst_sim.Protocol.hash_field s.label; Bool.to_int s.alarm |]
 end

@@ -106,4 +106,16 @@ module Make (C : CONFIG) = struct
   let corrupt_field st _ _ s =
     if Random.State.bool st then { s with seq = Random.State.int st 16 }
     else { s with echo = Random.State.int st 1024 }
+
+  let field_names = [| "parent"; "seq"; "phase"; "echo"; "value"; "result" |]
+
+  let encode s =
+    [|
+      s.parent;
+      s.seq;
+      (match s.phase with Idle -> 0 | Waving -> 1 | Echoed -> 2);
+      s.echo;
+      s.value;
+      Protocol.hash_field s.result;
+    |]
 end

@@ -83,6 +83,15 @@ module Make (App : Protocol.S) = struct
     | 1 -> { s with bfs = Ss_bfs.P.corrupt_field st g v s.bfs }
     | _ -> { s with app = App.corrupt_field st g v s.app }
 
+  let field_names =
+    Array.append [| "bfs"; "epoch"; "request" |]
+      (Array.map (fun f -> "app." ^ f) App.field_names)
+
+  let encode s =
+    Array.append
+      [| Protocol.hash_field s.bfs; s.epoch; Bool.to_int s.request |]
+      (App.encode s.app)
+
   let epoch s = s.epoch
   let app s = s.app
 end

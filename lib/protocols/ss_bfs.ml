@@ -60,6 +60,9 @@ module P = struct
     | 0 -> { s with leader = Random.State.int st (4 * Graph.n g) }
     | 1 -> { s with dist = Random.State.int st (2 * Graph.n g) }
     | _ -> { s with parent = Random.State.int st (Graph.n g) - 1 }
+
+  let field_names = [| "leader"; "dist"; "parent" |]
+  let encode s = [| s.leader; s.dist; s.parent |]
 end
 
 module Net = Network.Make (P)

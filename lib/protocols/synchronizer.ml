@@ -61,6 +61,9 @@ module Make (P : Protocol.S) = struct
      fault perturbs one field of the wrapped register instead *)
   let corrupt_field st g v s = { s with cur = P.corrupt_field st g v s.cur }
 
+  let field_names = [| "pulse"; "cur"; "prev" |]
+  let encode s = [| s.pulse; Protocol.hash_field s.cur; Protocol.hash_field s.prev |]
+
   let pulse s = s.pulse
   let current s = s.cur
 end

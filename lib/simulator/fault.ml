@@ -7,6 +7,10 @@ open Ssmst_graph
    and severities are applied in ascending node order, so identical seeds
    reproduce identical post-fault configurations on either engine. *)
 
+type id = int
+(* per-run injection id: the engine numbers injections 0, 1, ... in the
+   order they rewrite registers, and write causes refer back to them *)
+
 type placement =
   | Uniform
   | Clustered of { center : int option; radius : int }

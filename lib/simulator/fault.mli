@@ -13,6 +13,11 @@
 
 open Ssmst_graph
 
+type id = int
+(** Per-run injection id: engines number injections [0, 1, ...] in the
+    order they rewrite registers; {!Trace.cause} [Fault] values and
+    {!Trace.event} [Fault_injected.fault] refer back to these. *)
+
 type placement =
   | Uniform  (** victims drawn uniformly without replacement *)
   | Clustered of { center : int option; radius : int }

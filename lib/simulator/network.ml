@@ -158,6 +158,18 @@ module Make (P : Protocol.S) = struct
        invariant monitors, span round attribution).  Must not mutate
        states. *)
     mutable round_hook : (unit -> unit) option;
+    (* called on every register write with the old and new state and the
+       causal tag (flight recorder).  Must not mutate states. *)
+    mutable write_hook :
+      (round:int -> node:int -> old:P.state -> P.state -> Trace.cause -> unit) option;
+    (* capture-mode read tracking: per-node epoch stamps make "seen this
+       neighbour during this activation?" an O(1) array probe instead of a
+       list-membership scan *)
+    read_mark : int array;
+    mutable read_stamp : int;
+    (* cached all-ports causes: steps almost always read every neighbour,
+       so the common-case cause is shared and allocation-free *)
+    full_cause : Trace.cause option array;
   }
 
   let mark_dirty t v =
@@ -193,6 +205,10 @@ module Make (P : Protocol.S) = struct
         metrics = Metrics.create ();
         trace;
         round_hook = None;
+        write_hook = None;
+        read_mark = Array.make n 0;
+        read_stamp = 0;
+        full_cause = Array.make n None;
       }
     in
     t.metrics.Metrics.peak_bits <- peak;
@@ -214,14 +230,67 @@ module Make (P : Protocol.S) = struct
   let clear_round_hook t = t.round_hook <- None
   let fire_round_hook t = match t.round_hook with None -> () | Some f -> f ()
 
+  (* Flight-recorder probe: [f] sees every register write with the old and
+     new states and the causal tag; read-only by the same contract as the
+     round hook. *)
+  let set_write_hook t f = t.write_hook <- Some f
+  let clear_write_hook t = t.write_hook <- None
+
+  (* Whether provenance (read sets, field deltas) is worth computing this
+     round: someone is listening. *)
+  let capturing t = t.trace <> None || t.write_hook <> None
+
+  (* The ports of [v] behind the peers a step read, sorted ascending: the
+     stable encoding of a write's causal in-edges.  When the step read
+     every neighbour (the shared-register model's common case) the cause
+     is a per-node cached value. *)
+  let full_cause t v =
+    match t.full_cause.(v) with
+    | Some c -> c
+    | None ->
+        let c = Trace.Neighbor_read (List.init (Graph.degree t.graph v) Fun.id) in
+        t.full_cause.(v) <- Some c;
+        c
+
+  (* Partial read sets (rare) are reconstructed from the epoch marks by
+     scanning [v]'s ports, which also yields them sorted for free. *)
+  let read_cause t v ~distinct ~stamp =
+    if distinct = Graph.degree t.graph v then full_cause t v
+    else begin
+      let ps = Graph.ports t.graph v in
+      let ports = ref [] in
+      for p = Array.length ps - 1 downto 0 do
+        if t.read_mark.(ps.(p).Graph.peer) = stamp then ports := p :: !ports
+      done;
+      Trace.Neighbor_read !ports
+    end
+
   (* The round of the most recent write to [v]'s register (0 if never
      rewritten): per-node convergence, for the observatory's histograms. *)
   let last_write_round t v = t.last_write.(v)
 
+  (* The field-level delta between two registers, named per
+     [P.field_names]; the O(fields) cost is only paid when a trace is
+     attached. *)
+  let field_changes old s' =
+    let oe = P.encode old and ne = P.encode s' in
+    let k = min (Array.length oe) (Array.length ne) in
+    let changes = ref [] in
+    for i = k - 1 downto 0 do
+      if oe.(i) <> ne.(i) then
+        let field =
+          if i < Array.length P.field_names then P.field_names.(i) else Fmt.str "f%d" i
+        in
+        changes := { Trace.field; old_enc = oe.(i); new_enc = ne.(i) } :: !changes
+    done;
+    !changes
+
   (* The single register-write path: every state mutation funnels through
-     here so that peak-bits, alarm counts, metrics and the trace stay
-     consistent without any per-round O(n) rescans. *)
-  let apply_write t ~round v s' =
+     here so that peak-bits, alarm counts, metrics, the trace and the
+     flight-recorder hook stay consistent without any per-round O(n)
+     rescans.  [cause] tags the write's causal origin. *)
+  let apply_write t ~round ~cause v s' =
+    let old = t.states.(v) in
     t.states.(v) <- s';
     let b = P.bits s' in
     if b > t.peak_bits then t.peak_bits <- b;
@@ -229,7 +298,13 @@ module Make (P : Protocol.S) = struct
     t.metrics.Metrics.register_writes <- t.metrics.Metrics.register_writes + 1;
     t.metrics.Metrics.last_write_round <- round;
     t.last_write.(v) <- round;
-    emit t (Trace.Register_write { round; node = v; bits = b });
+    (match t.write_hook with None -> () | Some f -> f ~round ~node:v ~old s' cause);
+    let prov =
+      match t.trace with
+      | None -> None
+      | Some _ -> Some { Trace.cause; changes = field_changes old s' }
+    in
+    emit t (Trace.Register_write { round; node = v; bits = b; prov });
     let was = t.alarm_flags.(v) and now = P.alarm s' in
     if was <> now then begin
       t.alarm_flags.(v) <- now;
@@ -246,7 +321,7 @@ module Make (P : Protocol.S) = struct
     end
 
   let set_state t v s =
-    apply_write t ~round:t.rounds v s;
+    apply_write t ~round:t.rounds ~cause:Trace.Init v s;
     dirty_neighbourhood t v
 
   (* Kept for API compatibility; peak bits are maintained incrementally so
@@ -274,22 +349,32 @@ module Make (P : Protocol.S) = struct
     in
     t.frontier <- [];
     let snapshot = t.states in
-    let read v u =
-      if not (Graph.has_edge t.graph v u) then
-        invalid_arg "Network.step: reading a non-neighbour"
-      else snapshot.(u)
-    in
+    let capture = capturing t in
     let writes =
       List.fold_left
         (fun acc v ->
           t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
           emit t (Trace.Activation { round; node = v });
-          let s' = P.step t.graph v snapshot.(v) (read v) in
+          (* with a listener attached, record which neighbours the step
+             read: the causal in-edges of the resulting write *)
+          t.read_stamp <- t.read_stamp + 1;
+          let stamp = t.read_stamp in
+          let distinct = ref 0 in
+          let read u =
+            if not (Graph.has_edge t.graph v u) then
+              invalid_arg "Network.step: reading a non-neighbour";
+            if capture && t.read_mark.(u) <> stamp then begin
+              t.read_mark.(u) <- stamp;
+              incr distinct
+            end;
+            snapshot.(u)
+          in
+          let s' = P.step t.graph v snapshot.(v) read in
           if P.equal s' snapshot.(v) then begin
             t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1;
             acc
           end
-          else (v, s') :: acc)
+          else (v, s', read_cause t v ~distinct:!distinct ~stamp) :: acc)
         [] members
     in
     t.metrics.Metrics.skipped_activations <-
@@ -297,8 +382,8 @@ module Make (P : Protocol.S) = struct
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
     List.iter
-      (fun (v, s') ->
-        apply_write t ~round v s';
+      (fun (v, s', cause) ->
+        apply_write t ~round ~cause v s';
         dirty_neighbourhood t v)
       writes;
     fire_round_hook t
@@ -326,22 +411,30 @@ module Make (P : Protocol.S) = struct
   let async_round t daemon =
     let round = t.rounds + 1 in
     let schedule = Scheduler.round_schedule daemon (Graph.n t.graph) in
+    let capture = capturing t in
     List.iter
       (fun v ->
         if t.dirty.(v) then begin
           t.dirty.(v) <- false;
           t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
           emit t (Trace.Activation { round; node = v });
+          t.read_stamp <- t.read_stamp + 1;
+          let stamp = t.read_stamp in
+          let distinct = ref 0 in
           let read u =
             if not (Graph.has_edge t.graph v u) then
-              invalid_arg "Network.step: reading a non-neighbour"
-            else t.states.(u)
+              invalid_arg "Network.step: reading a non-neighbour";
+            if capture && t.read_mark.(u) <> stamp then begin
+              t.read_mark.(u) <- stamp;
+              incr distinct
+            end;
+            t.states.(u)
           in
           let s' = P.step t.graph v t.states.(v) read in
           if P.equal s' t.states.(v) then
             t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1
           else begin
-            apply_write t ~round v s';
+            apply_write t ~round ~cause:(read_cause t v ~distinct:!distinct ~stamp) v s';
             dirty_neighbourhood t v
           end
         end
@@ -395,9 +488,12 @@ module Make (P : Protocol.S) = struct
     Inject.apply st t.graph model
       ~get:(fun v -> t.states.(v))
       ~set:(fun v s' ->
-        t.metrics.Metrics.faults_injected <- t.metrics.Metrics.faults_injected + 1;
-        emit t (Trace.Fault_injected { round = t.rounds; node = v });
-        apply_write t ~round:t.rounds v s';
+        (* injection ids number rewrites per run, in order: the causal
+           terminals provenance walks resolve against *)
+        let fid : Fault.id = t.metrics.Metrics.faults_injected in
+        t.metrics.Metrics.faults_injected <- fid + 1;
+        emit t (Trace.Fault_injected { round = t.rounds; node = v; fault = Some fid });
+        apply_write t ~round:t.rounds ~cause:(Trace.Fault fid) v s';
         dirty_neighbourhood t v)
 
   (* Corrupt [count] distinct random nodes; returns the sorted list of

@@ -46,7 +46,26 @@ module type S = sig
       surgical end of the fault spectrum, against which [corrupt] is the
       full scrambling.  Protocols whose registers have no meaningfully
       separable fields may fall back to [corrupt]. *)
+
+  val field_names : string array
+  (** The register's field descriptor: one human-readable name per field,
+      in a fixed order.  Aligned index-for-index with {!encode}; the flight
+      recorder ([Ssmst_replay]) uses it to name the field behind every
+      write delta and first-divergence report. *)
+
+  val encode : state -> int array
+  (** A per-field fingerprint of the register, aligned with {!field_names}:
+      [  (encode a).(i) <> (encode b).(i)] must hold whenever field [i]
+      differs between [a] and [b] (up to hash collisions for compound
+      fields — use {!hash_field} there).  Cheap: called once per recorded
+      write. *)
 end
+
+(* Fingerprint for compound fields (records, arrays, variants): the default
+   [Hashtbl.hash] only samples ~10 leaves, which silently misses deep
+   changes in large labels; widening both limits makes a changed field
+   reliably change its fingerprint. *)
+let hash_field v = Hashtbl.hash_param 256 512 v
 
 (* Convenience alias used throughout. *)
 type 'a reader = int -> 'a

@@ -9,14 +9,30 @@
    the paper's round/bit/distance claims observable per run instead of only
    as aggregates. *)
 
+(* Why a register changed: the causal tag every write carries once
+   provenance capture is on.  [Neighbor_read ports] lists the ports whose
+   registers the activation read (the causal in-edges of the provenance
+   DAG); [Fault id] names the injection (ids count injections per run);
+   [Init] covers external writes that create state from nothing. *)
+type cause = Init | Neighbor_read of int list | Fault of int
+
+type change = { field : string; old_enc : int; new_enc : int }
+(* one field-level delta: [field] names the register field
+   (Protocol.S.field_names), [old_enc]/[new_enc] are its encoded
+   fingerprints before/after (Protocol.S.encode) *)
+
+type prov = { cause : cause; changes : change list }
+
 type event =
   | Activation of { round : int; node : int }
       (* the daemon activated [node] during [round] *)
-  | Register_write of { round : int; node : int; bits : int }
-      (* the activation (or an external write) changed the register *)
+  | Register_write of { round : int; node : int; bits : int; prov : prov option }
+      (* the activation (or an external write) changed the register;
+         [prov] is present when the engine captured provenance *)
   | Alarm_raised of { round : int; node : int }
   | Alarm_cleared of { round : int; node : int }
-  | Fault_injected of { round : int; node : int }
+  | Fault_injected of { round : int; node : int; fault : int option }
+      (* [fault] is the injection id the write's [Fault] cause refers to *)
   | Convergence of { round : int; reached : bool }
       (* emitted by [run_until] when it stops *)
   | Span_mark of { round : int; label : string; enter : bool }
@@ -120,13 +136,84 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* ---------------- provenance codecs ---------------- *)
+
+(* The flat-object JSON reader below cannot parse nested arrays/objects, so
+   provenance is serialized as two flat strings: a cause descriptor
+   ("init" | "read:<ports>" | "fault:<id>") and a semicolon-joined change
+   list ("dist:3>4;parent:2>5").  Old trace lines that predate provenance
+   simply lack both fields and parse back with [prov = None]. *)
+
+let cause_to_string = function
+  | Init -> "init"
+  | Fault id -> Fmt.str "fault:%d" id
+  | Neighbor_read ports -> "read:" ^ String.concat "," (List.map string_of_int ports)
+
+let cause_of_string s =
+  let prefixed p = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  let rest p = String.sub s (String.length p) (String.length s - String.length p) in
+  if s = "init" then Some Init
+  else if prefixed "fault:" then
+    Option.map (fun id -> Fault id) (int_of_string_opt (rest "fault:"))
+  else if prefixed "read:" then begin
+    let r = rest "read:" in
+    if r = "" then Some (Neighbor_read [])
+    else
+      try Some (Neighbor_read (List.map int_of_string (String.split_on_char ',' r)))
+      with Failure _ -> None
+  end
+  else None
+
+let change_to_string c = Fmt.str "%s:%d>%d" c.field c.old_enc c.new_enc
+
+(* parse from the right: field names never contain ':' or '>', but being
+   defensive costs nothing *)
+let change_of_string s =
+  match String.rindex_opt s '>' with
+  | None -> None
+  | Some gt -> (
+      match String.rindex_from_opt s (gt - 1) ':' with
+      | None -> None
+      | Some colon -> (
+          let field = String.sub s 0 colon in
+          let old_s = String.sub s (colon + 1) (gt - colon - 1) in
+          let new_s = String.sub s (gt + 1) (String.length s - gt - 1) in
+          match (int_of_string_opt old_s, int_of_string_opt new_s) with
+          | Some old_enc, Some new_enc -> Some { field; old_enc; new_enc }
+          | _ -> None))
+
+let changes_to_string cs = String.concat ";" (List.map change_to_string cs)
+
+let changes_of_string s =
+  if s = "" then Some []
+  else
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | part :: rest -> (
+          match change_of_string part with None -> None | Some c -> go (c :: acc) rest)
+    in
+    go [] (String.split_on_char ';' s)
+
 (* ---------------- sinks ---------------- *)
 
 (* One JSON object per event; the whole trace is a JSONL stream. *)
 let event_to_json e =
   let base = Fmt.str {|"event":"%s","round":%d|} (event_name e) (event_round e) in
   match e with
-  | Register_write { node; bits; _ } -> Fmt.str {|{%s,"node":%d,"bits":%d}|} base node bits
+  | Register_write { node; bits; prov; _ } ->
+      let p =
+        match prov with
+        | None -> ""
+        | Some { cause; changes } ->
+            Fmt.str {|,"cause":"%s","changes":"%s"|}
+              (json_escape (cause_to_string cause))
+              (json_escape (changes_to_string changes))
+      in
+      Fmt.str {|{%s,"node":%d,"bits":%d%s}|} base node bits p
+  | Fault_injected { node; fault; _ } -> (
+      match fault with
+      | None -> Fmt.str {|{%s,"node":%d}|} base node
+      | Some id -> Fmt.str {|{%s,"node":%d,"fault":%d}|} base node id)
   | Convergence { reached; _ } -> Fmt.str {|{%s,"reached":%b}|} base reached
   | Span_mark { label; enter; _ } ->
       Fmt.str {|{%s,"label":"%s","enter":%b}|} base (json_escape label) enter
@@ -134,10 +221,7 @@ let event_to_json e =
       let node_field = match node with None -> "" | Some v -> Fmt.str {|"node":%d,|} v in
       Fmt.str {|{%s,%s"monitor":"%s","detail":"%s"}|} base node_field (json_escape monitor)
         (json_escape detail)
-  | Activation { node; _ }
-  | Alarm_raised { node; _ }
-  | Alarm_cleared { node; _ }
-  | Fault_injected { node; _ } ->
+  | Activation { node; _ } | Alarm_raised { node; _ } | Alarm_cleared { node; _ } ->
       Fmt.str {|{%s,"node":%d}|} base node
 
 (* ---------------- a flat-object JSON reader ---------------- *)
@@ -256,14 +340,27 @@ let event_of_json line =
           Option.map (fun node -> Activation { round; node }) (int "node")
       | Some "register_write", Some round -> (
           match (int "node", int "bits") with
-          | Some node, Some bits -> Some (Register_write { round; node; bits })
+          | Some node, Some bits -> (
+              (* a line without a cause field is a pre-provenance trace:
+                 parse it with [prov = None]; a present-but-garbled cause
+                 or change list makes the whole line ill-formed *)
+              match str "cause" with
+              | None -> Some (Register_write { round; node; bits; prov = None })
+              | Some c -> (
+                  let changes =
+                    match str "changes" with None -> Some [] | Some s -> changes_of_string s
+                  in
+                  match (cause_of_string c, changes) with
+                  | Some cause, Some changes ->
+                      Some (Register_write { round; node; bits; prov = Some { cause; changes } })
+                  | _ -> None))
           | _ -> None)
       | Some "alarm_raised", Some round ->
           Option.map (fun node -> Alarm_raised { round; node }) (int "node")
       | Some "alarm_cleared", Some round ->
           Option.map (fun node -> Alarm_cleared { round; node }) (int "node")
       | Some "fault_injected", Some round ->
-          Option.map (fun node -> Fault_injected { round; node }) (int "node")
+          Option.map (fun node -> Fault_injected { round; node; fault = int "fault" }) (int "node")
       | Some "convergence", Some round ->
           Option.map (fun reached -> Convergence { round; reached }) (bool "reached")
       | Some "span_mark", Some round -> (
@@ -279,7 +376,7 @@ let event_of_json line =
 
 let write_jsonl oc t = iter (fun e -> output_string oc (event_to_json e ^ "\n")) t
 
-let csv_header = "event,round,node,bits,reached,label,enter,monitor,detail"
+let csv_header = "event,round,node,bits,reached,label,enter,monitor,detail,cause,changes"
 
 (* RFC-4180-style quoting, applied only when the cell needs it. *)
 let csv_escape s =
@@ -304,8 +401,19 @@ let event_to_csv e =
     match e with Invariant_violation { monitor; _ } -> csv_escape monitor | _ -> ""
   in
   let detail = match e with Invariant_violation { detail; _ } -> csv_escape detail | _ -> "" in
-  Fmt.str "%s,%d,%s,%s,%s,%s,%s,%s,%s" (event_name e) (event_round e) node bits reached label
-    enter monitor detail
+  let cause =
+    match e with
+    | Register_write { prov = Some { cause; _ }; _ } -> csv_escape (cause_to_string cause)
+    | Fault_injected { fault = Some id; _ } -> csv_escape (cause_to_string (Fault id))
+    | _ -> ""
+  in
+  let changes =
+    match e with
+    | Register_write { prov = Some { changes; _ }; _ } -> csv_escape (changes_to_string changes)
+    | _ -> ""
+  in
+  Fmt.str "%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s" (event_name e) (event_round e) node bits reached
+    label enter monitor detail cause changes
 
 let write_csv oc t =
   output_string oc (csv_header ^ "\n");

@@ -8,12 +8,28 @@
     dropped (and counted in {!dropped}), so tracing an arbitrarily long run
     costs O(capacity) memory. *)
 
+type cause =
+  | Init  (** an external write creating state from nothing *)
+  | Neighbor_read of int list
+      (** an activation that read the registers behind these ports — the
+          causal in-edges of the provenance DAG *)
+  | Fault of int  (** a fault injection, by per-run injection id *)
+
+type change = { field : string; old_enc : int; new_enc : int }
+(** one field-level delta: [field] comes from [Protocol.S.field_names],
+    [old_enc]/[new_enc] from [Protocol.S.encode] before/after the write *)
+
+type prov = { cause : cause; changes : change list }
+
 type event =
   | Activation of { round : int; node : int }
-  | Register_write of { round : int; node : int; bits : int }
+  | Register_write of { round : int; node : int; bits : int; prov : prov option }
+      (** [prov] is present when the engine captured provenance (trace or
+          write hook attached); pre-provenance traces parse with [None] *)
   | Alarm_raised of { round : int; node : int }
   | Alarm_cleared of { round : int; node : int }
-  | Fault_injected of { round : int; node : int }
+  | Fault_injected of { round : int; node : int; fault : int option }
+      (** [fault] is the injection id that write causes refer to *)
   | Convergence of { round : int; reached : bool }
   | Span_mark of { round : int; label : string; enter : bool }
       (** a phase span opened ([enter = true]) or closed at [round] *)
@@ -54,6 +70,18 @@ val event_node : event -> int option
 
 val json_escape : string -> string
 (** Standard JSON string escaping (quotes, backslashes, control bytes). *)
+
+val cause_to_string : cause -> string
+(** A flat descriptor: ["init"], ["read:0,2"] (ports), ["fault:7"]. *)
+
+val cause_of_string : string -> cause option
+(** Inverse of {!cause_to_string}. *)
+
+val changes_to_string : change list -> string
+(** Semicolon-joined field deltas: ["dist:3>4;parent:2>5"]. *)
+
+val changes_of_string : string -> change list option
+(** Inverse of {!changes_to_string} (the empty string is the empty list). *)
 
 val event_to_json : event -> string
 (** One JSON object, no trailing newline: a JSONL line.  Label, monitor and

@@ -30,6 +30,9 @@ module Flood = struct
   let corrupt_field st _ _ (s : state) =
     if Random.State.bool st then { s with best = Random.State.int st 4096 }
     else { s with hops = Random.State.int st 64 }
+
+  let field_names = [| "best"; "hops" |]
+  let encode (s : state) = [| s.best; s.hops |]
 end
 
 module Diff (P : Protocol.S) = struct

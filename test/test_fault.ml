@@ -102,6 +102,8 @@ module Toy = struct
   let bits s = Memory.of_int s.a + Memory.of_nat s.b
   let corrupt st _ _ _ = { a = Random.State.int st 4096; b = Random.State.int st 4096 }
   let corrupt_field st _ _ s = { s with b = 1 + Random.State.int st 64 }
+  let field_names = [| "a"; "b" |]
+  let encode s = [| s.a; s.b |]
 end
 
 module ToyApply = Fault.Apply (Toy)
@@ -198,6 +200,8 @@ module Watcher = struct
   let bits _ = 1
   let corrupt _ _ _ _ = true
   let corrupt_field _ _ _ (_ : state) = true
+  let field_names = [| "alarmed" |]
+  let encode (s : state) = [| Bool.to_int s |]
 end
 
 let two_components () = Graph.of_edges ~n:4 [ (0, 1, 1); (2, 3, 1) ]

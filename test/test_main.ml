@@ -31,4 +31,5 @@ let () =
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
+      ("replay", Test_replay.suite);
     ]

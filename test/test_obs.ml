@@ -167,10 +167,10 @@ let nasty = "a\"b\\c,\nend\ttab\001ctl"
 let all_variants =
   [
     Trace.Activation { round = 1; node = 2 };
-    Trace.Register_write { round = 3; node = 4; bits = 99 };
+    Trace.Register_write { round = 3; node = 4; bits = 99; prov = None };
     Trace.Alarm_raised { round = 5; node = 6 };
     Trace.Alarm_cleared { round = 6; node = 6 };
-    Trace.Fault_injected { round = 7; node = 0 };
+    Trace.Fault_injected { round = 7; node = 0; fault = None };
     Trace.Convergence { round = 8; reached = false };
     Trace.Convergence { round = 9; reached = true };
     Trace.Span_mark { round = 10; label = nasty; enter = true };

@@ -20,6 +20,8 @@ module Flood = struct
   let bits s = Memory.of_int s.best + Memory.of_bool
   let corrupt st _ _ s = { s with best = Random.State.int st 1000 }
   let corrupt_field st _ _ s = { s with best = Random.State.int st 1000 }
+  let field_names = [| "best"; "alarmed" |]
+  let encode (s : state) = [| s.best; Bool.to_int s.alarmed |]
 end
 
 module Net = Network.Make (Flood)

@@ -27,6 +27,8 @@ module Sync_bfs = struct
   let bits s = Memory.of_int (min s.dist 1000000) + Memory.of_nat s.round
   let corrupt _ _ _ s = s
   let corrupt_field _ _ _ s = s
+  let field_names = [| "dist"; "round" |]
+  let encode (s : state) = [| s.dist; s.round |]
 end
 
 module S = Synchronizer.Make (Sync_bfs)
@@ -87,6 +89,8 @@ module Alarmer = struct
   let bits s = Memory.of_int s.id + Memory.of_nat s.steps + 1
   let corrupt _ _ _ s = { s with alarmed = true }
   let corrupt_field _ _ _ s = { s with alarmed = true }
+  let field_names = [| "id"; "steps"; "alarmed" |]
+  let encode (s : state) = [| s.id; s.steps; Bool.to_int s.alarmed |]
 end
 
 module R = Reset.Make (Alarmer)

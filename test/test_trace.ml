@@ -31,13 +31,29 @@ let test_json_csv () =
   Alcotest.(check string)
     "convergence json" {|{"event":"convergence","round":20,"reached":true}|}
     (Trace.event_to_json c);
-  let w = Trace.Register_write { round = 3; node = 1; bits = 17 } in
+  let w = Trace.Register_write { round = 3; node = 1; bits = 17; prov = None } in
   Alcotest.(check string)
     "write json" {|{"event":"register_write","round":3,"node":1,"bits":17}|}
     (Trace.event_to_json w);
-  Alcotest.(check string) "write csv" "register_write,3,1,17,,,,," (Trace.event_to_csv w);
-  Alcotest.(check string) "convergence csv" "convergence,20,,,true,,,," (Trace.event_to_csv c);
-  (* every event's CSV row matches the header's arity *)
+  let prov =
+    Some
+      {
+        Trace.cause = Trace.Neighbor_read [ 0; 2 ];
+        changes = [ { Trace.field = "dist"; old_enc = 3; new_enc = 4 } ];
+      }
+  in
+  let wp = Trace.Register_write { round = 3; node = 1; bits = 17; prov } in
+  Alcotest.(check string)
+    "write json with provenance"
+    {|{"event":"register_write","round":3,"node":1,"bits":17,"cause":"read:0,2","changes":"dist:3>4"}|}
+    (Trace.event_to_json wp);
+  Alcotest.(check string) "write csv" "register_write,3,1,17,,,,,,," (Trace.event_to_csv w);
+  Alcotest.(check string)
+    "write csv with provenance" "register_write,3,1,17,,,,,,\"read:0,2\",dist:3>4"
+    (Trace.event_to_csv wp);
+  Alcotest.(check string) "convergence csv" "convergence,20,,,true,,,,,," (Trace.event_to_csv c);
+  (* every event's CSV row matches the header's arity (quoted cells hold no
+     commas here except the cause, handled above) *)
   let arity s = List.length (String.split_on_char ',' s) in
   List.iter
     (fun e ->
@@ -46,10 +62,72 @@ let test_json_csv () =
         (arity Trace.csv_header) (arity (Trace.event_to_csv e)))
     [
       a; c; w;
+      Trace.Fault_injected { round = 2; node = 7; fault = Some 0 };
       Trace.Span_mark { round = 4; label = "plain"; enter = true };
       Trace.Invariant_violation
         { round = 9; node = Some 3; monitor = "forest"; detail = "plain detail" };
     ]
+
+(* both trace shapes round-trip through JSON: provenance-carrying events
+   from this engine, and pre-provenance lines from old traces *)
+let test_prov_roundtrip () =
+  let roundtrips e =
+    Alcotest.(check bool)
+      (Fmt.str "round-trips: %s" (Trace.event_to_json e))
+      true
+      (Trace.event_of_json (Trace.event_to_json e) = Some e)
+  in
+  List.iter roundtrips
+    [
+      Trace.Register_write { round = 3; node = 1; bits = 17; prov = None };
+      Trace.Register_write
+        {
+          round = 3;
+          node = 1;
+          bits = 17;
+          prov = Some { Trace.cause = Trace.Init; changes = [] };
+        };
+      Trace.Register_write
+        {
+          round = 5;
+          node = 2;
+          bits = 9;
+          prov =
+            Some
+              {
+                Trace.cause = Trace.Neighbor_read [ 0; 1; 3 ];
+                changes =
+                  [
+                    { Trace.field = "dist"; old_enc = -1; new_enc = 4 };
+                    { Trace.field = "parent"; old_enc = 2; new_enc = -7 };
+                  ];
+              };
+        };
+      Trace.Register_write
+        {
+          round = 6;
+          node = 0;
+          bits = 4;
+          prov = Some { Trace.cause = Trace.Fault 3; changes = [] };
+        };
+      Trace.Fault_injected { round = 2; node = 7; fault = None };
+      Trace.Fault_injected { round = 2; node = 7; fault = Some 11 };
+    ];
+  (* an old-format line (no cause/changes fields) still parses *)
+  Alcotest.(check bool)
+    "pre-provenance line parses with prov = None" true
+    (Trace.event_of_json {|{"event":"register_write","round":3,"node":1,"bits":17}|}
+    = Some (Trace.Register_write { round = 3; node = 1; bits = 17; prov = None }));
+  Alcotest.(check bool)
+    "pre-provenance fault line parses with fault = None" true
+    (Trace.event_of_json {|{"event":"fault_injected","round":4,"node":2}|}
+    = Some (Trace.Fault_injected { round = 4; node = 2; fault = None }));
+  (* a garbled cause makes the whole line ill-formed, not silently untagged *)
+  Alcotest.(check bool)
+    "garbled cause rejected" true
+    (Trace.event_of_json
+       {|{"event":"register_write","round":3,"node":1,"bits":17,"cause":"nonsense"}|}
+    = None)
 
 (* ---------------- a fault-detecting toy protocol ---------------- *)
 
@@ -71,6 +149,8 @@ module Watch = struct
   let bits s = Memory.of_int s.value + 1
   let corrupt st _ _ (s : state) = { s with value = 1 + Random.State.int st 100 }
   let corrupt_field st _ _ (s : state) = { s with value = 1 + Random.State.int st 100 }
+  let field_names = [| "value"; "alarmed" |]
+  let encode (s : state) = [| s.value; Bool.to_int s.alarmed |]
 end
 
 module Net = Network.Make (Watch)
@@ -99,7 +179,7 @@ let test_alarm_events_at_detection () =
       let events = Trace.to_list tr in
       let fault_events =
         List.filter_map
-          (fun e -> match e with Trace.Fault_injected { round; node } -> Some (round, node) | _ -> None)
+          (fun e -> match e with Trace.Fault_injected { round; node; _ } -> Some (round, node) | _ -> None)
           events
       in
       Alcotest.(check (list (pair int int)))
@@ -135,6 +215,8 @@ module Flood = struct
   let bits s = Memory.of_int s.best
   let corrupt st _ _ _ = { best = Random.State.int st 64 }
   let corrupt_field st _ _ _ = { best = Random.State.int st 64 }
+  let field_names = [| "best" |]
+  let encode (s : state) = [| s.best |]
 end
 
 module FNet = Network.Make (Flood)
@@ -181,6 +263,7 @@ let suite =
   [
     Alcotest.test_case "ring buffer drops oldest" `Quick test_ring_buffer;
     Alcotest.test_case "json and csv event encodings" `Quick test_json_csv;
+    Alcotest.test_case "provenance round-trips both shapes" `Quick test_prov_roundtrip;
     Alcotest.test_case "alarm events fire at detection time" `Quick test_alarm_events_at_detection;
     Alcotest.test_case "rounds-to-quiescence = run_until" `Quick test_rounds_to_quiescence;
     Alcotest.test_case "metrics csv/json rows" `Quick test_metrics_rows;
