@@ -1,0 +1,35 @@
+open Ssmst_graph
+open Ssmst_sim
+open Ssmst_replay
+
+(* Repro: writes recorded at round == round0 (the creation checkpoint's
+   round) are skipped by state_at, which still reports exact=true. *)
+module P = Ssmst_protocols.Ss_bfs.P
+module Net = Network.Make (P)
+module R = Recorder.Make (P)
+
+let () =
+  let g = Gen.random_connected (Gen.rng 7) 16 in
+  let net = Net.create g in
+  Net.run net Scheduler.Sync ~rounds:100;
+  let r0 = Net.rounds net in
+  let rec_ = R.create ~interval:64 ~round0:r0 g (Net.states net) in
+  Net.set_write_hook net (R.engine_hook rec_ (Net.states net));
+  (* inject at the current round, like Flight.record_verify does *)
+  let victims = Net.inject_faults net (Gen.rng 9) ~count:2 in
+  Printf.printf "round0=%d victims=%s\n" r0
+    (String.concat "," (List.map string_of_int victims));
+  let v = R.state_at rec_ r0 in
+  Printf.printf "state_at(round0): exact=%b\n" v.R.exact;
+  let live = Net.states net in
+  List.iter
+    (fun n ->
+      Printf.printf "victim %d: replayed=live? %b\n" n (P.equal v.R.states.(n) live.(n)))
+    victims;
+  (* now also check a later round before the next checkpoint *)
+  Net.run net Scheduler.Sync ~rounds:1;
+  let v1 = R.state_at rec_ (r0 + 1) in
+  let live = Net.states net in
+  let bad = ref 0 in
+  Array.iteri (fun i s -> if not (P.equal s live.(i)) then incr bad) v1.R.states;
+  Printf.printf "state_at(round0+1): exact=%b mismatching_nodes=%d\n" v1.R.exact !bad
