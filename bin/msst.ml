@@ -187,7 +187,7 @@ let trace_run family n seed faults async_ out capacity fmt =
    print the min/median/p95 aggregate and optionally write the per-trial
    rows as CSV / JSONL.  Fully deterministic in --seed: identical seeds
    yield byte-identical campaign files. *)
-let campaign families sizes fault_counts models seeds seed max_rounds csv_out jsonl_out =
+let campaign families sizes fault_counts models seeds seed max_rounds jobs csv_out jsonl_out =
   let unknown = List.filter (fun m -> not (List.mem m Campaign.model_names)) models in
   if unknown <> [] then begin
     Fmt.epr "msst campaign: unknown model(s) %a (known: %a)@."
@@ -210,8 +210,15 @@ let campaign families sizes fault_counts models seeds seed max_rounds csv_out js
     Fmt.epr "msst campaign: --seeds must be positive (got %d)@." seeds;
     exit 2
   end;
+  (* -j 0 (the default) defers to MSST_JOBS, so CI and scripts can set a
+     machine-wide degree without threading a flag through every call *)
+  let jobs =
+    if jobs > 0 then jobs
+    else Ssmst_parallel.Pool.jobs_from_env ~var:"MSST_JOBS" ~default:1 ()
+  in
   let trials =
-    Verifier_campaign.sweep ~families ~sizes ~fault_counts ~models ~seeds ~seed ~max_rounds
+    Verifier_campaign.sweep ~jobs ~families ~sizes ~fault_counts ~models ~seeds ~seed
+      ~max_rounds ()
   in
   let aggs = Campaign.aggregate trials in
   Fmt.pr "campaign: %d trials (%d families x %d sizes x %d fault counts x %d models x %d \
@@ -765,6 +772,15 @@ let seeds_arg =
     value & opt int 3
     & info [ "seeds" ] ~docv:"K" ~doc:"Instances (seeds) per family x size grid point.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the sweep across $(docv) forked worker processes.  Output is byte-identical \
+           to a sequential run for any value.  0 (the default) reads \\$MSST_JOBS, falling \
+           back to 1.")
+
 let campaign_csv_arg =
   Arg.(
     value
@@ -787,7 +803,7 @@ let campaign_cmd =
           optionally emit the per-trial rows as CSV/JSONL.")
     Term.(
       const campaign $ families_arg $ sizes_arg $ fault_counts_arg $ models_arg $ seeds_arg
-      $ seed_arg $ max_rounds_arg $ campaign_csv_arg $ campaign_jsonl_arg)
+      $ seed_arg $ max_rounds_arg $ jobs_arg $ campaign_csv_arg $ campaign_jsonl_arg)
 
 let scenario_arg =
   Arg.(

@@ -57,7 +57,11 @@ let run_trial t ~model ~inject_seed ~max_rounds =
   let module P = Verifier.Make (C) in
   let module Net = Network.Make (P) in
   let net = Net.create t.graph in
-  Array.iteri (Net.set_state net) t.settled;
+  (* metrics/trace-neutral rewind: [set_state] would funnel n writes
+     through the engine's write path, inflating [register_writes],
+     stamping [last_write] on every node and emitting spurious Init
+     events — [restore] installs the snapshot as pure bookkeeping *)
+  Net.restore net t.settled;
   let rng = Gen.rng inject_seed in
   Campaign.drive ~rng ~model ~max_rounds
     ~round:(fun () -> Net.round net Scheduler.Sync)
@@ -65,30 +69,54 @@ let run_trial t ~model ~inject_seed ~max_rounds =
     ~inject:(fun st m -> Net.inject net st m)
     ~distance:(fun ~faults -> Net.detection_distance net ~faults)
 
-let sweep ~families ~sizes ~fault_counts ~models ~seeds ~seed ~max_rounds =
+(* One instance's full (fault count x model) trial block, in grid order.
+   The shard is self-contained — family, requested size and instance seed
+   fully determine the settling run and every trial — which is exactly
+   what makes it safe to farm out to a {!Ssmst_parallel.Pool} worker: the
+   settling [prepare] (the expensive part) runs inside the shard and so
+   parallelizes with its trials, and the rows come back as marshallable
+   plain data. *)
+let run_instance ~fault_counts ~models ~max_rounds (family, requested_n, instance_seed) =
+  let inst = prepare ~family ~n:requested_n ~seed:instance_seed in
+  (* grid/hypertree round the requested size: record what was actually
+     built, so downstream c·f·⌈log n⌉ analysis reads the right n *)
+  let actual_n = Graph.n inst.graph in
+  let r = root inst in
   let trials = ref [] in
-  List.iter
-    (fun family ->
-      List.iter
-        (fun n ->
-          for i = 0 to seeds - 1 do
-            let instance_seed = seed + (7919 * i) in
-            let inst = prepare ~family ~n ~seed:instance_seed in
-            let r = root inst in
-            List.iteri
-              (fun fi f ->
-                List.iteri
-                  (fun mi name ->
-                    let model = Campaign.resolve_model name ~n:(Graph.n inst.graph) ~root:r ~count:f in
-                    let inject_seed = (instance_seed * 31) + (97 * fi) + mi + 1 in
-                    let outcome = run_trial inst ~model ~inject_seed ~max_rounds in
-                    let spec =
-                      { Campaign.family; n; faults = f; model = name; seed = instance_seed }
-                    in
-                    trials := { Campaign.spec; outcome } :: !trials)
-                  models)
-              fault_counts
-          done)
-        sizes)
-    families;
+  List.iteri
+    (fun fi f ->
+      List.iteri
+        (fun mi name ->
+          let model = Campaign.resolve_model name ~n:actual_n ~root:r ~count:f in
+          let inject_seed = (instance_seed * 31) + (97 * fi) + mi + 1 in
+          let outcome = run_trial inst ~model ~inject_seed ~max_rounds in
+          let spec =
+            {
+              Campaign.family;
+              n = actual_n;
+              requested_n;
+              faults = f;
+              model = name;
+              seed = instance_seed;
+            }
+          in
+          trials := { Campaign.spec; outcome } :: !trials)
+        models)
+    fault_counts;
   List.rev !trials
+
+let sweep ?(jobs = 1) ~families ~sizes ~fault_counts ~models ~seeds ~seed ~max_rounds () =
+  (* the instance grid in deterministic (family, size, seed index) order;
+     each instance is one pool shard, and reassembly in submission order
+     makes the trial list — and every CSV/JSONL byte derived from it —
+     identical for every [jobs] *)
+  let instances =
+    List.concat_map
+      (fun family ->
+        List.concat_map
+          (fun n -> List.init seeds (fun i -> (family, n, seed + (7919 * i))))
+          sizes)
+      families
+  in
+  Ssmst_parallel.Pool.map ~jobs (run_instance ~fault_counts ~models ~max_rounds) instances
+  |> List.concat

@@ -7,10 +7,15 @@ open Ssmst_sim
     Shared by [msst campaign] and the [bench CAMPAIGN] experiment. *)
 
 val family_names : string list
-(** ["random"; "path"; "ring"; "grid"; "complete"; "star"] *)
+(** ["random"; "path"; "ring"; "grid"; "complete"; "star"; "hypertree"] *)
 
 val graph_of_family : string -> Random.State.t -> int -> Graph.t
-(** @raise Invalid_argument on an unknown family name. *)
+(** Note that two families round the requested size: ["grid"] builds a
+    side² grid with side = [max 2 (sqrt n)], and ["hypertree"] rounds down
+    to the nearest complete-binary-tree size [2^(h+1)-1] with h ≥ 2 (so
+    requests below 7 still yield 7 nodes).  Campaign rows record both the
+    actual ([Campaign.spec.n]) and the requested size.
+    @raise Invalid_argument on an unknown family name. *)
 
 type instance
 (** A settled verifier instance: the graph, its marker, and the register
@@ -24,10 +29,13 @@ val root : instance -> int
 (** The MST root: the anchor of the ["near-root"] placement. *)
 
 val run_trial : instance -> model:Fault.t -> inject_seed:int -> max_rounds:int -> Campaign.outcome
-(** One trial on a fresh network restored from the instance snapshot;
-    deterministic in the instance and [inject_seed]. *)
+(** One trial on a fresh network rewound to the instance snapshot via the
+    engine's metrics/trace-neutral [restore] (so [register_writes] counts
+    protocol work only — 0 until the injection); deterministic in the
+    instance and [inject_seed]. *)
 
 val sweep :
+  ?jobs:int ->
   families:string list ->
   sizes:int list ->
   fault_counts:int list ->
@@ -35,7 +43,13 @@ val sweep :
   seeds:int ->
   seed:int ->
   max_rounds:int ->
+  unit ->
   Campaign.trial list
 (** The full campaign grid, in deterministic order: for each family x n x
     instance-seed, one {!prepare}, then every fault count x model.  The
-    [seed] is the base; instance seed i uses [seed + 7919 * i]. *)
+    [seed] is the base; instance seed i uses [seed + 7919 * i].
+
+    [jobs] (default 1) shards the instance grid across that many forked
+    worker processes ({!Ssmst_parallel.Pool.map}); per-instance seeds make
+    every shard self-contained, so the trial list is identical — byte for
+    byte once serialized — for every [jobs]. *)

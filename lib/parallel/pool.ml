@@ -1,0 +1,270 @@
+(* A fork-based worker pool (see the interface).  Design constraints:
+
+   - Determinism: worker [w] statically owns task indices congruent to [w]
+     modulo the worker count and processes them in ascending order; the
+     parent slots every result by its index, so the returned list is in
+     submission order no matter how frames interleave on the wire.
+   - No hang: the parent never writes to a worker (static sharding), so
+     the only blocking edge is worker -> parent, which [select] drains as
+     it becomes readable.  A dead worker closes its pipe; EOF releases the
+     parent, and unfinished shards fall back to a sequential retry.
+   - Portability: plain [Unix.fork] + pipes runs identically on OCaml 4.14
+     and 5.1 (single-domain; no Thread/Domain dependency). *)
+
+type error = { shard : int; worker : int; reason : string }
+
+let default_on_error e =
+  Fmt.epr "[pool] worker %d lost shard %d (%s); retrying sequentially@." e.worker e.shard
+    e.reason
+
+(* ---------------- wire format ---------------- *)
+
+(* One frame per completed shard: an 8-byte little-endian payload length,
+   then the marshalled [(index, outcome)] pair.  The explicit prefix lets
+   the parent buffer partial reads without peeking into Marshal headers. *)
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let send fd value =
+  let payload = Marshal.to_bytes value [] in
+  let header = Bytes.create 8 in
+  Bytes.set_int64_le header 0 (Int64.of_int (Bytes.length payload));
+  write_all fd header;
+  write_all fd payload
+
+(* ---------------- the parent's per-worker collector ---------------- *)
+
+let chunk = 65536
+
+type collector = {
+  wi : int;
+  pid : int;
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable filled : int;
+  mutable eof : bool;
+  mutable reaped : Unix.process_status option;
+  mutable proto_error : string option;  (* corrupt frame: stream abandoned *)
+}
+
+(* Abandon a worker's stream (EOF or a corrupt frame): whatever is left in
+   its buffer is a partial frame and is discarded; the shards it never
+   delivered take the sequential-retry path. *)
+let abandon c reason =
+  if not c.eof then begin
+    c.eof <- true;
+    c.proto_error <- reason;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  end
+
+let parse_frames c slot =
+  let pos = ref 0 in
+  (try
+     while c.filled - !pos >= 8 do
+       let len = Int64.to_int (Bytes.get_int64_le c.buf !pos) in
+       if len <= 0 then failwith "corrupt frame length";
+       if c.filled - !pos - 8 < len then raise Exit;
+       let i, outcome = Marshal.from_bytes c.buf (!pos + 8) in
+       slot i outcome;
+       pos := !pos + 8 + len
+     done
+   with
+  | Exit -> ()
+  | _ -> abandon c (Some "corrupt result frame"));
+  if !pos > 0 && not c.eof then begin
+    Bytes.blit c.buf !pos c.buf 0 (c.filled - !pos);
+    c.filled <- c.filled - !pos
+  end
+
+let read_into c slot =
+  if Bytes.length c.buf - c.filled < chunk then begin
+    let nb = Bytes.create (max (2 * Bytes.length c.buf) (c.filled + chunk)) in
+    Bytes.blit c.buf 0 nb 0 c.filled;
+    c.buf <- nb
+  end;
+  match Unix.read c.fd c.buf c.filled (Bytes.length c.buf - c.filled) with
+  | 0 -> abandon c None
+  | k ->
+      c.filled <- c.filled + k;
+      parse_frames c slot
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let rec reap c =
+  match c.reaped with
+  | Some st -> st
+  | None -> (
+      match Unix.waitpid [] c.pid with
+      | _, st ->
+          c.reaped <- Some st;
+          st
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap c)
+
+let crash_reason c =
+  match c.proto_error with
+  | Some r -> r
+  | None -> (
+      match reap c with
+      | Unix.WEXITED 0 -> "pipe closed before the shard was delivered"
+      | Unix.WEXITED k -> Fmt.str "worker exited with code %d" k
+      | Unix.WSIGNALED s -> Fmt.str "worker killed by signal %d" s
+      | Unix.WSTOPPED s -> Fmt.str "worker stopped by signal %d" s)
+
+(* ---------------- map ---------------- *)
+
+let map (type a b) ?(jobs = 1) ?(on_error = default_on_error) (f : a -> b) (tasks : a list)
+    : b list =
+  let n = List.length tasks in
+  if jobs <= 1 || n <= 1 then List.map f tasks
+  else begin
+    let tasks = Array.of_list tasks in
+    let workers = min jobs n in
+    (* the forked children inherit the stdio buffers: flush now so nothing
+       pending is written twice *)
+    flush stdout;
+    flush stderr;
+    let spawn wi =
+      let rd, wr = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+          (* the worker: compute the statically-owned shards in ascending
+             index order, stream one frame each, and leave via [_exit] so
+             no inherited at_exit/flush machinery runs twice *)
+          (try Unix.close rd with Unix.Unix_error _ -> ());
+          let code =
+            try
+              let i = ref wi in
+              while !i < n do
+                let outcome : (b, string) result =
+                  match f tasks.(!i) with
+                  | v -> Ok v
+                  | exception e -> Error (Printexc.to_string e)
+                in
+                send wr (!i, outcome);
+                i := !i + workers
+              done;
+              (try Unix.close wr with Unix.Unix_error _ -> ());
+              0
+            with _ -> 2
+          in
+          Unix._exit code
+      | pid ->
+          Unix.close wr;
+          {
+            wi;
+            pid;
+            fd = rd;
+            buf = Bytes.create chunk;
+            filled = 0;
+            eof = false;
+            reaped = None;
+            proto_error = None;
+          }
+    in
+    (* spawn in index order with an explicit loop: each worker must fork
+       after the parent has closed every earlier write end, or a child
+       would inherit it and keep a sibling's stream from reaching EOF *)
+    let cs =
+      let acc = ref [] in
+      for wi = 0 to workers - 1 do
+        acc := spawn wi :: !acc
+      done;
+      Array.of_list (List.rev !acc)
+    in
+    let remote : (b, string) result option array = Array.make n None in
+    let slot i outcome = if i >= 0 && i < n then remote.(i) <- Some outcome in
+    Fun.protect
+      ~finally:(fun () ->
+        (* exceptional exits (on_error or a retry raising) must not leak
+           fds, zombies, or still-running workers *)
+        Array.iter
+          (fun c ->
+            if not c.eof then begin
+              c.eof <- true;
+              try Unix.close c.fd with Unix.Unix_error _ -> ()
+            end;
+            if c.reaped = None then begin
+              (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (reap c)
+            end)
+          cs)
+      (fun () ->
+        (* collect frames out of order until every stream has ended *)
+        let rec collect () =
+          let live = Array.to_list cs |> List.filter (fun c -> not c.eof) in
+          if live <> [] then begin
+            (match Unix.select (List.map (fun c -> c.fd) live) [] [] (-1.) with
+            | ready, _, _ ->
+                List.iter (fun c -> if List.mem c.fd ready then read_into c slot) live
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            collect ()
+          end
+        in
+        collect ();
+        Array.iter (fun c -> ignore (reap c)) cs;
+        (* reassemble in submission order; anything a worker failed to
+           deliver — crash, EOF mid-frame, or a remote exception — is
+           surfaced as a typed error and retried once, sequentially *)
+        let result i =
+          match remote.(i) with
+          | Some (Ok v) -> v
+          | Some (Error msg) ->
+              on_error
+                { shard = i; worker = i mod workers; reason = "task raised: " ^ msg };
+              f tasks.(i)
+          | None ->
+              let c = cs.(i mod workers) in
+              on_error { shard = i; worker = c.wi; reason = crash_reason c };
+              f tasks.(i)
+        in
+        (* explicit ascending loop: retries (and their on_error calls) must
+           run in submission order for deterministic output *)
+        let acc = ref [] in
+        for i = 0 to n - 1 do
+          acc := result i :: !acc
+        done;
+        List.rev !acc)
+  end
+
+(* ---------------- environment probes ---------------- *)
+
+let cpu_count () =
+  let from_proc () =
+    match open_in "/proc/cpuinfo" with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let k = ref 0 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if String.length line >= 9 && String.sub line 0 9 = "processor" then incr k
+               done
+             with End_of_file -> ());
+            if !k > 0 then Some !k else None)
+    | exception Sys_error _ -> None
+  in
+  let from_getconf () =
+    match Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" with
+    | ic ->
+        let line = try input_line ic with End_of_file -> "" in
+        ignore (Unix.close_process_in ic);
+        int_of_string_opt (String.trim line)
+    | exception Unix.Unix_error _ -> None
+  in
+  match from_proc () with
+  | Some k -> k
+  | None -> ( match from_getconf () with Some k when k > 0 -> k | _ -> 1)
+
+let jobs_from_env ?(var = "MSST_JOBS") ?(default = 1) () =
+  match Sys.getenv_opt var with
+  | None -> max 1 default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> k
+      | _ -> max 1 default)

@@ -1,0 +1,50 @@
+(** A [Unix.fork]-based worker pool for deterministic parallel execution.
+
+    {!map} shards an indexed task list across worker processes and
+    reassembles the results in submission order, so for a pure task
+    function the result — and anything serialized from it — is
+    byte-identical to the sequential run for every job count.  Tasks must
+    therefore be self-contained (carry their own seeds) and their results
+    must be marshallable plain data (no closures, no custom blocks that
+    [Marshal] rejects).
+
+    The protocol: worker [w] owns every task index [i] with
+    [i mod workers = w] and streams [(index, result)] frames back over its
+    pipe, each frame length-prefixed and marshalled; the parent collects
+    frames out of order with [select] and slots them by index.  A worker
+    that crashes or closes its pipe mid-frame surfaces as a typed
+    {!error} per unfinished shard (passed to [on_error]); the partial
+    frame is discarded and each such shard is retried once, sequentially,
+    in the parent — a pool failure can cost time but never a hang and
+    never a wrong or reordered result. *)
+
+type error = {
+  shard : int;  (** index (in the submitted list) of the affected task *)
+  worker : int;  (** which worker (0-based) owned the shard *)
+  reason : string;  (** what happened: signal, exit code, EOF, task exception *)
+}
+(** The typed description of one shard that did not come back from a
+    worker.  Surfaced through [on_error] just before the shard's
+    sequential retry. *)
+
+val map : ?jobs:int -> ?on_error:(error -> unit) -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f tasks] is [List.map f tasks], computed by [jobs] forked
+    workers.  [jobs <= 1] (the default) runs sequentially in-process — no
+    fork, no marshalling.  Results come back in submission order for every
+    [jobs].
+
+    A task that raises inside a worker is reported as an {!error} and
+    retried sequentially in the parent, so the exception (if it
+    reproduces) propagates exactly as it would have under [List.map].
+    [on_error] (default: a warning on stderr) observes every shard that
+    crashed, died with the worker, or raised remotely. *)
+
+val cpu_count : unit -> int
+(** Best-effort detected core count ([/proc/cpuinfo], then
+    [getconf _NPROCESSORS_ONLN]); at least 1.  Scaling gates use this to
+    decide whether a speedup target is physically meaningful. *)
+
+val jobs_from_env : ?var:string -> ?default:int -> unit -> int
+(** The job count from the environment variable [var] (default
+    ["MSST_JOBS"]); [default] (default 1) when unset or unparsable.
+    Clamped to at least 1. *)

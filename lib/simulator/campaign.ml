@@ -3,7 +3,14 @@
    produced in grid order, victims are sorted, and the CSV/JSONL encoders
    are pure, so one seed reproduces one byte-identical campaign file. *)
 
-type spec = { family : string; n : int; faults : int; model : string; seed : int }
+type spec = {
+  family : string;
+  n : int;  (* actual graph size (Graph.n), the one bound checks use *)
+  requested_n : int;  (* the size the grid asked for, before family rounding *)
+  faults : int;
+  model : string;
+  seed : int;
+}
 
 type outcome = {
   victims : int list;
@@ -82,14 +89,14 @@ let drive ~rng ~(model : Fault.t) ~max_rounds ~round ~any_alarm ~inject ~distanc
 (* ---------------- sinks ---------------- *)
 
 let csv_header =
-  "family,n,faults,model,seed,detected,detection_rounds,detection_distance,injections,"
-  ^ "rounds_run,victims"
+  "family,n,requested_n,faults,model,seed,detected,detection_rounds,detection_distance,"
+  ^ "injections,rounds_run,victims"
 
 let opt_csv = function None -> "" | Some x -> string_of_int x
 
 let trial_to_csv { spec; outcome } =
-  Fmt.str "%s,%d,%d,%s,%d,%b,%s,%s,%d,%d,%s" spec.family spec.n spec.faults spec.model
-    spec.seed
+  Fmt.str "%s,%d,%d,%d,%s,%d,%b,%s,%s,%d,%d,%s" spec.family spec.n spec.requested_n
+    spec.faults spec.model spec.seed
     (outcome.detection_rounds <> None)
     (opt_csv outcome.detection_rounds)
     (opt_csv outcome.detection_distance)
@@ -100,8 +107,8 @@ let opt_json = function None -> "null" | Some x -> string_of_int x
 
 let trial_to_json { spec; outcome } =
   Fmt.str
-    {|{"family":%S,"n":%d,"faults":%d,"model":%S,"seed":%d,"detected":%b,"detection_rounds":%s,"detection_distance":%s,"injections":%d,"rounds_run":%d,"victims":[%s]}|}
-    spec.family spec.n spec.faults spec.model spec.seed
+    {|{"family":%S,"n":%d,"requested_n":%d,"faults":%d,"model":%S,"seed":%d,"detected":%b,"detection_rounds":%s,"detection_distance":%s,"injections":%d,"rounds_run":%d,"victims":[%s]}|}
+    spec.family spec.n spec.requested_n spec.faults spec.model spec.seed
     (outcome.detection_rounds <> None)
     (opt_json outcome.detection_rounds)
     (opt_json outcome.detection_distance)

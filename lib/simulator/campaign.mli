@@ -11,6 +11,10 @@
 type spec = {
   family : string;  (** graph family name *)
   n : int;
+      (** the {e actual} graph size ([Graph.n]): [grid] rounds the request
+          to side² and [hypertree] to [2^(h+1)-1], so this is the n that
+          c·f·⌈log n⌉ bound analysis must read *)
+  requested_n : int;  (** the size the sweep grid asked the generator for *)
   faults : int;  (** f, the burst size *)
   model : string;  (** named model, see {!model_names} *)
   seed : int;  (** instance + injection seed *)

@@ -324,6 +324,30 @@ module Make (P : Protocol.S) = struct
     apply_write t ~round:t.rounds ~cause:Trace.Init v s;
     dirty_neighbourhood t v
 
+  (* Metrics/trace-neutral bulk install of a register snapshot: copy the
+     states in, rebuild the alarm flags/count and the dirty set, and keep
+     the peak-bits high-water marks consistent.  Unlike [set_state], this
+     does NOT count [register_writes], stamp [last_write], fire the write
+     hook or emit [Init]-cause trace/alarm events — restoring a settled
+     snapshot (the campaign-trial rewind) is bookkeeping, not protocol
+     work, and must not pollute per-node convergence histograms or event
+     streams. *)
+  let restore t snapshot =
+    let n = Array.length t.states in
+    if Array.length snapshot <> n then
+      invalid_arg "Network.restore: snapshot size does not match the network";
+    Array.blit snapshot 0 t.states 0 n;
+    t.alarm_count <- 0;
+    for v = 0 to n - 1 do
+      let a = P.alarm t.states.(v) in
+      t.alarm_flags.(v) <- a;
+      if a then t.alarm_count <- t.alarm_count + 1;
+      let b = P.bits t.states.(v) in
+      if b > t.peak_bits then t.peak_bits <- b;
+      if b > t.metrics.Metrics.peak_bits then t.metrics.Metrics.peak_bits <- b;
+      mark_dirty t v
+    done
+
   (* Kept for API compatibility; peak bits are maintained incrementally so
      this is only a (re)scan safety net. *)
   let record_memory t =
@@ -348,6 +372,11 @@ module Make (P : Protocol.S) = struct
         t.frontier
     in
     t.frontier <- [];
+    (* canonical activation order: ascending node id.  The frontier's list
+       shape is an engine-internal accident (cons order of dirty marks);
+       sorting here makes the per-round event order — and hence every
+       trace/recorder JSONL artifact — stable across engine refactors. *)
+    let members = List.sort compare members in
     let snapshot = t.states in
     let capture = capturing t in
     let writes =
@@ -381,11 +410,13 @@ module Make (P : Protocol.S) = struct
       t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    (* the fold built [writes] by consing over the ascending members, so
+       reversing applies (and emits) them in ascending node order too *)
     List.iter
       (fun (v, s', cause) ->
         apply_write t ~round ~cause v s';
         dirty_neighbourhood t v)
-      writes;
+      (List.rev writes);
     fire_round_hook t
 
   (* Compact the frontier after an async round: within-round flag churn

@@ -261,7 +261,7 @@ let transformer_inject_model () =
 
 let sweep () =
   Verifier_campaign.sweep ~families:[ "random" ] ~sizes:[ 16 ] ~fault_counts:[ 1; 2 ]
-    ~models:[ "uniform"; "clustered" ] ~seeds:2 ~seed:4242 ~max_rounds:50_000
+    ~models:[ "uniform"; "clustered" ] ~seeds:2 ~seed:4242 ~max_rounds:50_000 ()
 
 let campaign_seed_deterministic () =
   let rows ts = List.map Campaign.trial_to_csv ts in
@@ -278,7 +278,7 @@ let campaign_seed_deterministic () =
 let campaign_distance_bound () =
   let trials =
     Verifier_campaign.sweep ~families:[ "random" ] ~sizes:[ 32 ] ~fault_counts:[ 1; 2; 4 ]
-      ~models:[ "uniform" ] ~seeds:2 ~seed:7100 ~max_rounds:100_000
+      ~models:[ "uniform" ] ~seeds:2 ~seed:7100 ~max_rounds:100_000 ()
   in
   let log2n = int_of_float (ceil (Float.log2 32.)) in
   List.iter
@@ -291,6 +291,120 @@ let campaign_distance_bound () =
             true
             (d <= 3 * t.spec.faults * log2n))
     trials
+
+(* ---------------- actual n vs requested n ---------------- *)
+
+(* grid and hypertree round the requested size; campaign rows must record
+   the size that was actually built (the n the f·log n bound reads), with
+   the request preserved in its own column. *)
+let family_actual_n () =
+  let n_of family req = Graph.n (Verifier_campaign.graph_of_family family (rng 1) req) in
+  Alcotest.(check int) "grid 32 -> 5x5" 25 (n_of "grid" 32);
+  Alcotest.(check int) "grid 64 -> 8x8" 64 (n_of "grid" 64);
+  Alcotest.(check int) "hypertree 5 -> minimum 7" 7 (n_of "hypertree" 5);
+  Alcotest.(check int) "hypertree 15 exact" 15 (n_of "hypertree" 15);
+  Alcotest.(check int) "hypertree 20 rounds down" 15 (n_of "hypertree" 20);
+  Alcotest.(check int) "hypertree 31 exact" 31 (n_of "hypertree" 31);
+  Alcotest.(check int) "random is exact" 18 (n_of "random" 18)
+
+let campaign_records_actual_n () =
+  let trials =
+    Verifier_campaign.sweep ~families:[ "grid"; "hypertree" ] ~sizes:[ 32 ] ~fault_counts:[ 1 ]
+      ~models:[ "uniform" ] ~seeds:1 ~seed:5150 ~max_rounds:50_000 ()
+  in
+  List.iter
+    (fun (t : Campaign.trial) ->
+      Alcotest.(check int) "requested_n is the grid size" 32 t.spec.requested_n;
+      let expect = match t.spec.family with "grid" -> 25 | _ -> 31 in
+      Alcotest.(check int) (t.spec.family ^ ": n is the built size") expect t.spec.n)
+    trials;
+  (* both columns survive the serializers *)
+  let row = Campaign.trial_to_csv (List.hd trials) in
+  Alcotest.(check bool) "csv carries n,requested_n" true
+    (String.length row > 0 && String.sub row 0 8 = "grid,25,")
+
+(* ---------------- restore is metrics/trace-neutral ---------------- *)
+
+(* The campaign-trial rewind: installing a snapshot must not count
+   register writes, stamp last-write rounds, or emit trace events — the
+   old [set_state] loop did all three, poisoning every per-trial metric
+   read before the injection. *)
+let restore_neutral () =
+  let g = graph 71 16 in
+  let m = Marker.run g in
+  let module C = struct
+    let marker = m
+    let mode = Verifier.Passive
+  end in
+  let module P = Verifier.Make (C) in
+  let module Net = Network.Make (P) in
+  let settle = Net.create g in
+  Net.run settle Scheduler.Sync ~rounds:(8 * Verifier.window_bound m.Marker.labels.(0));
+  let snapshot = Array.copy (Net.states settle) in
+  let tr = Trace.create () in
+  let net = Net.create ~trace:tr g in
+  Net.restore net snapshot;
+  Alcotest.(check int) "no register writes" 0 (Net.metrics net).Metrics.register_writes;
+  Alcotest.(check int) "no alarms raised" 0 (Net.metrics net).Metrics.alarms_raised;
+  Alcotest.(check int) "no trace events" 0 (Trace.total tr);
+  for v = 0 to Graph.n g - 1 do
+    Alcotest.(check int) "last_write untouched" 0 (Net.last_write_round net v);
+    Alcotest.(check bool) "state installed" true (P.equal (Net.state net v) snapshot.(v))
+  done;
+  Alcotest.(check bool) "settled snapshot is silent" false (Net.any_alarm net);
+  (* from here on, writes are protocol work and must count again *)
+  let victims = Net.inject net (rng 9) (Fault.uniform ~count:1) in
+  Alcotest.(check int) "one victim" 1 (List.length victims);
+  Alcotest.(check int)
+    "injection is the first counted write" 1
+    (Net.metrics net).Metrics.register_writes;
+  Alcotest.check_raises "size mismatch rejected"
+    (Invalid_argument "Network.restore: snapshot size does not match the network") (fun () ->
+      Net.restore net (Array.sub snapshot 0 3))
+
+(* restore must still rebuild the alarm flags it does not trace: a
+   snapshot with a latched alarm makes [any_alarm] true immediately,
+   while [alarms_raised] (a transition counter) stays 0. *)
+let restore_rebuilds_alarms () =
+  let module Net = Network.Make (Watcher) in
+  let g = graph 73 8 in
+  let net = Net.create g in
+  let snapshot = Array.init (Graph.n g) (fun v -> v = 3) in
+  Net.restore net snapshot;
+  Alcotest.(check bool) "alarm visible" true (Net.any_alarm net);
+  Alcotest.(check int) "but not counted as a transition" 0
+    (Net.metrics net).Metrics.alarms_raised;
+  Alcotest.(check (option int))
+    "detection distance reads the restored flags" (Some 1)
+    (Net.detection_distance net ~faults:[ 2 ])
+
+(* ---------------- sync-round write order ---------------- *)
+
+(* Deferred writes must be applied (and traced) in ascending node id —
+   the canonical activation order — not in the reverse-frontier order an
+   implementation detail used to leak. *)
+let sync_writes_ascending () =
+  let module Net = Network.Make (Test_engine_diff.Flood) in
+  let g = graph 79 24 in
+  let tr = Trace.create () in
+  let net = Net.create ~trace:tr g in
+  Net.run net Scheduler.Sync ~rounds:12;
+  let per_round = Hashtbl.create 16 in
+  Trace.iter
+    (function
+      | Trace.Register_write { round; node; _ } ->
+          let prev = try Hashtbl.find per_round round with Not_found -> [] in
+          Hashtbl.replace per_round round (node :: prev)
+      | _ -> ())
+    tr;
+  Alcotest.(check bool) "some writes happened" true (Hashtbl.length per_round > 0);
+  Hashtbl.iter
+    (fun round nodes ->
+      let nodes = List.rev nodes in
+      Alcotest.(check (list int))
+        (Fmt.str "round %d writes ascend" round)
+        (List.sort compare nodes) nodes)
+    per_round
 
 let suite =
   [
@@ -310,4 +424,12 @@ let suite =
     Alcotest.test_case "campaign is seed-deterministic" `Quick campaign_seed_deterministic;
     Alcotest.test_case "uniform detection distance within O(f log n)" `Quick
       campaign_distance_bound;
+    Alcotest.test_case "grid/hypertree build their rounded sizes" `Quick family_actual_n;
+    Alcotest.test_case "campaign rows record actual n and requested n" `Quick
+      campaign_records_actual_n;
+    Alcotest.test_case "restore is metrics/trace-neutral" `Quick restore_neutral;
+    Alcotest.test_case "restore rebuilds alarm flags without counting them" `Quick
+      restore_rebuilds_alarms;
+    Alcotest.test_case "sync-round writes apply in ascending node id" `Quick
+      sync_writes_ascending;
   ]

@@ -32,4 +32,5 @@ let () =
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
       ("replay", Test_replay.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,168 @@
+open Ssmst_core
+open Ssmst_parallel
+
+(* The fork pool: map must agree with List.map for every job count, a
+   crashed worker must surface as a typed error (never a hang) with the
+   shard recovered sequentially, and the campaign sweep built on top must
+   produce byte-identical CSV/JSONL for -j 1, 2 and 4 — the determinism
+   contract [msst campaign -j] advertises. *)
+
+(* ---------------- map = List.map ---------------- *)
+
+let map_matches_sequential () =
+  let tasks = List.init 23 (fun i -> i - 4) in
+  let f x = (x * x) - (3 * x) + 1 in
+  let expected = List.map f tasks in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Fmt.str "jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs f tasks))
+    [ 1; 2; 3; 4; 8 ]
+
+let map_edge_cases () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map ~jobs:4 (fun x -> x * x) [ 3 ]);
+  (* more workers than tasks *)
+  Alcotest.(check (list string))
+    "jobs > tasks"
+    [ "0"; "1"; "2" ]
+    (Pool.map ~jobs:16 string_of_int [ 0; 1; 2 ]);
+  (* results bigger than one pipe buffer still come back intact *)
+  let big = Pool.map ~jobs:2 (fun i -> String.make 300_000 (Char.chr (65 + i))) [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int))
+    "large frames survive framing"
+    [ 300_000; 300_000; 300_000; 300_000 ]
+    (List.map String.length big);
+  List.iteri
+    (fun i s -> Alcotest.(check char) "payload" (Char.chr (65 + i)) s.[0])
+    big
+
+(* ---------------- worker crash: typed error + sequential retry -------- *)
+
+(* Shard 5 kills its own worker process mid-run.  With 3 workers and
+   static sharding, worker 2 owns shards 2, 5, 8, 11 in that order: shard
+   2 streams back before the crash, shards 5, 8 and 11 are lost with the
+   worker and must each surface as a typed error and be retried in the
+   parent (where the guard sees the parent pid and the task succeeds). *)
+let contains ~sub s =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let crash_recovers () =
+  let parent = Unix.getpid () in
+  let errors = ref [] in
+  let f i =
+    if i = 5 && Unix.getpid () <> parent then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    i * 10
+  in
+  let tasks = List.init 12 Fun.id in
+  let got = Pool.map ~jobs:3 ~on_error:(fun e -> errors := e :: !errors) f tasks in
+  Alcotest.(check (list int)) "all shards recovered" (List.map (fun i -> i * 10) tasks) got;
+  let errors = List.rev !errors in
+  Alcotest.(check (list int))
+    "exactly the crashed worker's pending shards, in order"
+    [ 5; 8; 11 ]
+    (List.map (fun (e : Pool.error) -> e.shard) errors);
+  List.iter
+    (fun (e : Pool.error) ->
+      Alcotest.(check int) "blamed on worker 2" 2 e.worker;
+      Alcotest.(check bool)
+        (Fmt.str "reason names the signal: %s" e.reason)
+        true
+        (contains ~sub:"signal" e.reason || contains ~sub:"killed" e.reason))
+    errors
+
+(* A task exception is not a pool failure: it is reported, retried in the
+   parent, and re-raised there exactly as List.map would have raised it. *)
+let task_exception_propagates () =
+  let errors = ref 0 in
+  Alcotest.check_raises "retry reproduces the exception" (Failure "boom") (fun () ->
+      ignore
+        (Pool.map ~jobs:2
+           ~on_error:(fun _ -> incr errors)
+           (fun i -> if i = 3 then failwith "boom" else i)
+           (List.init 6 Fun.id)));
+  Alcotest.(check int) "the failing shard was reported" 1 !errors
+
+(* ---------------- jobs_from_env ---------------- *)
+
+let jobs_from_env () =
+  let var = "MSST_TEST_POOL_JOBS_PROBE" in
+  Unix.putenv var "6";
+  Alcotest.(check int) "parses" 6 (Pool.jobs_from_env ~var ());
+  Unix.putenv var "not-a-number";
+  Alcotest.(check int) "unparsable -> default" 2 (Pool.jobs_from_env ~var ~default:2 ());
+  Unix.putenv var "-3";
+  Alcotest.(check int) "clamped to 1" 1 (Pool.jobs_from_env ~var ());
+  Alcotest.(check int)
+    "unset -> default" 4
+    (Pool.jobs_from_env ~var:"MSST_TEST_POOL_JOBS_UNSET" ~default:4 ());
+  Alcotest.(check bool) "cpu_count positive" true (Pool.cpu_count () >= 1)
+
+(* ---------------- golden determinism of the campaign sweep ------------ *)
+
+(* The user-facing contract: the bytes [msst campaign] writes are
+   invariant in -j.  Render the full CSV and JSONL documents from sweeps
+   at jobs 1, 2 and 4 and compare them as strings.  The grid includes
+   both size-rounding families so the requested_n plumbing is under the
+   same golden. *)
+let sweep jobs =
+  Verifier_campaign.sweep ~jobs
+    ~families:[ "random"; "grid"; "hypertree" ]
+    ~sizes:[ 12; 16 ] ~fault_counts:[ 1; 2 ] ~models:[ "uniform"; "near-root" ] ~seeds:2
+    ~seed:6100 ~max_rounds:50_000 ()
+
+let csv_doc trials =
+  String.concat "\n" (Ssmst_sim.Campaign.csv_header :: List.map Ssmst_sim.Campaign.trial_to_csv trials)
+
+let jsonl_doc trials = String.concat "\n" (List.map Ssmst_sim.Campaign.trial_to_json trials)
+
+let golden_determinism () =
+  let seq = sweep 1 in
+  Alcotest.(check int) "full grid" (3 * 2 * 2 * 2 * 2) (List.length seq);
+  let csv1 = csv_doc seq and json1 = jsonl_doc seq in
+  List.iter
+    (fun jobs ->
+      let t = sweep jobs in
+      Alcotest.(check string) (Fmt.str "CSV bytes, -j %d" jobs) csv1 (csv_doc t);
+      Alcotest.(check string) (Fmt.str "JSONL bytes, -j %d" jobs) json1 (jsonl_doc t))
+    [ 2; 4 ]
+
+(* ---------------- opt-in parallel differential driver ----------------- *)
+
+(* The engine = naive QCheck suites in [Test_engine_diff] are embarrassingly
+   parallel: each (seed, daemon) cell is self-contained.  MSST_TEST_JOBS
+   (default 1, so tier-1 stays in-process) shards the grid across a pool;
+   a divergence inside a worker raises, comes back as a typed error, and
+   the sequential retry re-raises it here with its message intact. *)
+let parallel_engine_diff () =
+  let jobs = Pool.jobs_from_env ~var:"MSST_TEST_JOBS" ~default:1 () in
+  let cells =
+    List.concat_map (fun kind -> List.init 8 (fun i -> (41_000 + (17 * i), kind))) [ 0; 1; 2 ]
+  in
+  let results =
+    Pool.map ~jobs
+      (fun (seed, kind) ->
+        Test_engine_diff.Diff_flood.run_one ~seed ~kind ();
+        Test_engine_diff.Diff_bfs.run_one ~rounds:20 ~faults:2 ~seed ~kind ();
+        (seed, kind))
+      cells
+  in
+  Alcotest.(check int) "every cell ran" (List.length cells) (List.length results);
+  Alcotest.(check bool) "order preserved" true (results = cells)
+
+let suite =
+  [
+    Alcotest.test_case "pool map = List.map for every job count" `Quick map_matches_sequential;
+    Alcotest.test_case "pool map edge cases and large frames" `Quick map_edge_cases;
+    Alcotest.test_case "killed worker: typed errors + sequential retry" `Quick crash_recovers;
+    Alcotest.test_case "task exception is reported then re-raised" `Quick
+      task_exception_propagates;
+    Alcotest.test_case "jobs_from_env parsing and clamping" `Quick jobs_from_env;
+    Alcotest.test_case "campaign CSV/JSONL byte-identical for -j 1/2/4" `Quick
+      golden_determinism;
+    Alcotest.test_case "engine = naive grid under MSST_TEST_JOBS" `Quick parallel_engine_diff;
+  ]
