@@ -979,6 +979,7 @@ let fig_par () =
   close_out oc;
   Fmt.pr "@.%d core(s); speedup gate (>= %.2fx at -j 4) %s@." cores min_speedup
     (if gated then "enforced" else "informational (needs >= 4 cores)");
+  if not gated then Fmt.pr "gate skipped: %d cores (scaling gate needs >= 4)@." cores;
   Fmt.pr "(machine-readable results written to %s)@." json_path;
   if not identical then begin
     Fmt.pr "PAR determinism violated: parallel CSV/JSONL differ from sequential.@.";
@@ -987,6 +988,411 @@ let fig_par () =
   if gated && speedup4 < min_speedup then begin
     Fmt.pr "PAR scaling budget missed: %.2fx at -j 4 (target %.2fx).@." speedup4 min_speedup;
     exit 1
+  end
+
+(* ==================================================================== *)
+(* SCALE — the million-node unlock: flat engine over streamed CSR graphs *)
+(* ==================================================================== *)
+
+(* The flat-core acceptance experiment: stream-build n ∈ {10^4, 10^5, 10^6}
+   instances of each family directly into CSR (no intermediate edge list),
+   run the packed ss-bfs election on {!Network.Flat} and gate
+
+   - measured bytes/node: [8 * words] must stay within 64·⌈log2 n⌉ bits
+     (the Section 2.4 memory-size claim, in whole 64-bit words);
+   - throughput: at least $SSMST_SCALE_MIN_RPS rounds/sec (default 1.0 —
+     a liveness floor, not a performance claim; the printed numbers are
+     the claim);
+   - residency: the VmHWM high-water delta of each instance must stay
+     within 6x its accounted storage (CSR arrays + register file) plus a
+     fixed GC slack — the "memory is the register file" honesty check.
+
+   CI trims the sweep with SSMST_SCALE_MAX_N (the smoke job runs 10^5).
+   Results land in BENCH_PR6.json (or $SSMST_BENCH_PR6_JSON). *)
+
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            acc
+        | line ->
+            let acc =
+              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                try
+                  Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+                    (fun k -> Some k)
+                with Scanf.Scan_failure _ | Failure _ | End_of_file -> acc
+              else acc
+            in
+            go acc
+      in
+      go None
+
+let scale_max_n () =
+  match Sys.getenv_opt "SSMST_SCALE_MAX_N" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 1_000_000)
+  | None -> 1_000_000
+
+let scale_min_rps () =
+  match Sys.getenv_opt "SSMST_SCALE_MIN_RPS" with
+  | Some s -> ( try float_of_string s with _ -> 0.25)
+  | None -> 0.25
+
+(* the streamed instance of each family closest to the target size *)
+let scale_instance family target seed =
+  match family with
+  | "grid" ->
+      let side = int_of_float (sqrt (float_of_int target)) in
+      Gen.stream_grid ~seed side side
+  | "random" -> Gen.stream_random ~seed target
+  | "hypertree" ->
+      (* n = 2^(h+1) - 1: the height whose size is nearest the target *)
+      let size h = (1 lsl (h + 1)) - 1 in
+      let rec fit h = if size h >= target then h else fit (h + 1) in
+      let h = fit 1 in
+      let h = if h > 1 && target - size (h - 1) < size h - target then h - 1 else h in
+      Gen.stream_hypertree ~seed h
+  | f -> invalid_arg ("scale_instance: unknown family " ^ f)
+
+let fig_scale () =
+  header "SCALE — flat engine over streamed CSR instances (packed ss-bfs election)";
+  let module P = Ssmst_protocols.Ss_bfs.P in
+  let module F = Network.Flat (P) in
+  let max_n = scale_max_n () and min_rps = scale_min_rps () in
+  let sizes = List.filter (fun n -> n <= max_n) [ 10_000; 100_000; 1_000_000 ] in
+  let rounds = 20 in
+  Fmt.pr "%-10s %-9s %8s %6s %9s %9s %10s %9s %8s@." "family" "n" "build" "B/node" "budget"
+    "run" "rounds/s" "rss MB" "rss ok";
+  line ();
+  let rows = ref [] in
+  List.iter
+    (fun target ->
+      List.iter
+        (fun family ->
+          let hwm0 = Option.value ~default:0 (vm_hwm_kb ()) in
+          let g, build_s = wall (fun () -> scale_instance family target (6400 + target)) in
+          let n = Graph.n g in
+          let net, create_s = wall (fun () -> F.create g) in
+          let (), run_s = wall (fun () -> F.run net Scheduler.Sync ~rounds) in
+          let rps = float_of_int rounds /. run_s in
+          let bytes_per_node = F.measured_bytes_per_node net in
+          let budget_ok = Memory.within_log_budget ~c:64 ~n ~words:(F.words net) in
+          let hwm1 = Option.value ~default:0 (vm_hwm_kb ()) in
+          let rss_delta_mb = float_of_int (hwm1 - hwm0) /. 1024. in
+          let accounted_mb =
+            float_of_int ((8 * Graph.storage_words g) + (bytes_per_node * n))
+            /. (1024. *. 1024.)
+          in
+          (* 6x accounted + 256 MB GC slack; only meaningful when this
+             instance actually raised the high-water mark *)
+          let rss_ok = rss_delta_mb <= (6. *. accounted_mb) +. 256. in
+          Fmt.pr "%-10s %-9d %7.2fs %6d %9s %8.2fs %10.2f %9.1f %8b@." family n
+            (build_s +. create_s) bytes_per_node
+            (if budget_ok then "ok" else "OVER")
+            run_s rps rss_delta_mb rss_ok;
+          rows :=
+            (family, n, build_s +. create_s, bytes_per_node, budget_ok, run_s, rps,
+             rss_delta_mb, accounted_mb, rss_ok)
+            :: !rows)
+        [ "grid"; "random"; "hypertree" ])
+    sizes;
+  let rows = List.rev !rows in
+  let within =
+    List.for_all
+      (fun (_, _, _, _, budget_ok, _, rps, _, _, rss_ok) ->
+        budget_ok && rss_ok && rps >= min_rps)
+      rows
+  in
+  let json_path =
+    Option.value ~default:"BENCH_PR6.json" (Sys.getenv_opt "SSMST_BENCH_PR6_JSON")
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    {|{"pr":6,"engine":"flat","protocol":"ss-bfs","rounds":%d,"max_n":%d,"min_rounds_per_sec":%.2f,"workloads":[%s],"within_budget":%b}
+|}
+    rounds max_n min_rps
+    (String.concat ","
+       (List.map
+          (fun (family, n, build_s, bpn, budget_ok, run_s, rps, rss, acc, rss_ok) ->
+            Printf.sprintf
+              {|{"family":"%s","n":%d,"build_s":%.3f,"bytes_per_node":%d,"log_budget_ok":%b,"run_s":%.3f,"rounds_per_sec":%.1f,"rss_delta_mb":%.1f,"accounted_mb":%.1f,"rss_ok":%b}|}
+              family n build_s bpn budget_ok run_s rps rss acc rss_ok)
+          rows))
+    within;
+  close_out oc;
+  Fmt.pr "@.modeled bound: 64 * ceil(log2 n) bits/node; measured: 8 * words bytes/node.@.";
+  Fmt.pr "(machine-readable results written to %s)@." json_path;
+  if not within then begin
+    Fmt.pr "SCALE gates missed (see the budget/rss columns above).@.";
+    exit 1
+  end
+
+(* ==================================================================== *)
+(* REPORT — merge every BENCH_*.json into one trend table                *)
+(* ==================================================================== *)
+
+(* A minimal JSON reader for the bench artifacts (the container has no
+   JSON library baked in, and the artifacts are all machine-written flat
+   objects).  Supports the full grammar minus escapes beyond quote,
+   backslash, slash, n, t and r — which is all the writers above emit. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let i = ref 0 in
+    let len = String.length s in
+    let peek () = if !i < len then Some s.[!i] else None in
+    let next () =
+      if !i >= len then raise (Bad "unexpected end");
+      let c = s.[!i] in
+      incr i;
+      c
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr i;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      skip_ws ();
+      if next () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !i))
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+            (match next () with
+            | ('"' | '\\' | '/') as c -> Buffer.add_char b c
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | c -> raise (Bad (Printf.sprintf "unsupported escape \\%c" c)));
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          incr i;
+          skip_ws ();
+          if peek () = Some '}' then (incr i; Obj [])
+          else
+            let rec members acc =
+              let key = parse_string () in
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' ->
+                  skip_ws ();
+                  members ((key, v) :: acc)
+              | '}' -> Obj (List.rev ((key, v) :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad object separator %c" c))
+            in
+            members []
+      | Some '[' ->
+          incr i;
+          skip_ws ();
+          if peek () = Some ']' then (incr i; Arr [])
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' -> elems (v :: acc)
+              | ']' -> Arr (List.rev (v :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad array separator %c" c))
+            in
+            elems []
+      | Some ('t' | 'f' | 'n') ->
+          let lit w v =
+            if !i + String.length w <= len && String.sub s !i (String.length w) = w then begin
+              i := !i + String.length w;
+              v
+            end
+            else raise (Bad "bad literal")
+          in
+          if s.[!i] = 't' then lit "true" (Bool true)
+          else if s.[!i] = 'f' then lit "false" (Bool false)
+          else lit "null" Null
+      | Some _ ->
+          let j = ref !i in
+          while
+            !j < len
+            && match s.[!j] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+          do
+            incr j
+          done;
+          if !j = !i then raise (Bad (Printf.sprintf "unexpected char at %d" !i));
+          let v =
+            try float_of_string (String.sub s !i (!j - !i))
+            with Failure _ -> raise (Bad "bad number")
+          in
+          i := !j;
+          Num v
+      | None -> raise (Bad "empty input")
+    in
+    let v = parse_value () in
+    skip_ws ();
+    v
+
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> string_of_bool b
+    | Num f -> if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f else Printf.sprintf "%g" f
+    | Str s -> "\"" ^ Ssmst_sim.Trace.json_escape s ^ "\""
+    | Arr l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
+    | Obj m -> "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ to_string v) m) ^ "}"
+
+  let mem key = function Obj m -> List.assoc_opt key m | _ -> None
+  let num_opt = function Some (Num f) -> Some f | _ -> None
+  let bool_opt = function Some (Bool b) -> Some b | _ -> None
+  let str_opt = function Some (Str s) -> Some s | _ -> None
+  let arr = function Some (Arr l) -> l | _ -> []
+end
+
+(* One line summarizing a workload entry, tolerant of each PR's shape. *)
+let workload_headline (w : Json.t) =
+  let name =
+    match (Json.str_opt (Json.mem "name" w), Json.str_opt (Json.mem "family" w)) with
+    | Some n, _ -> n
+    | None, Some f -> (
+        match Json.num_opt (Json.mem "n" w) with
+        | Some n -> Printf.sprintf "%s n=%.0f" f n
+        | None -> f)
+    | None, None -> (
+        match Json.num_opt (Json.mem "jobs" w) with
+        | Some j -> Printf.sprintf "-j %.0f" j
+        | None -> "?")
+  in
+  let metrics =
+    List.filter_map
+      (fun (key, fmt) ->
+        Option.map (fun v -> Printf.sprintf fmt v) (Json.num_opt (Json.mem key w)))
+      [
+        ("overhead_pct", "overhead %+.1f%%");
+        ("speedup", "speedup %.2fx");
+        ("rounds_per_sec", "%.1f rounds/s");
+        ("bytes_per_node", "%.0f B/node");
+        ("rss_delta_mb", "rss %.1f MB");
+      ]
+  in
+  (name, String.concat ", " metrics)
+
+let fig_report () =
+  header "REPORT — merged bench artifacts (BENCH_*.json)";
+  let files =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json"
+           && f <> "BENCH_REPORT.json")
+    |> List.sort compare
+  in
+  if files = [] then Fmt.pr "no BENCH_*.json artifacts in the current directory.@."
+  else begin
+    let reports =
+      List.filter_map
+        (fun file ->
+          let ic = open_in file in
+          let len = in_channel_length ic in
+          let body = really_input_string ic len in
+          close_in ic;
+          match Json.parse body with
+          | j -> Some (file, j)
+          | exception Json.Bad msg ->
+              Fmt.pr "(skipping %s: %s)@." file msg;
+              None)
+        files
+    in
+    let b = Buffer.create 4096 in
+    let out fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    out "# Bench trend report";
+    out "";
+    (* cores + gating status first: a speedup row from a 2-core container
+       and one from a 16-core workstation are different experiments *)
+    List.iter
+      (fun (file, j) ->
+        match Json.num_opt (Json.mem "cores" j) with
+        | Some cores ->
+            let gated = Option.value ~default:true (Json.bool_opt (Json.mem "gated" j)) in
+            out "Parallel gate (%s): %.0f core(s), scaling gate %s." file cores
+              (if gated then "ENFORCED"
+               else Printf.sprintf "SKIPPED — %.0f cores (needs >= 4)" cores)
+        | None -> ())
+      reports;
+    out "";
+    out "| artifact | pr | workloads | cores | gated | within budget |";
+    out "|---|---|---|---|---|---|";
+    List.iter
+      (fun (file, j) ->
+        let num k = match Json.num_opt (Json.mem k j) with Some f -> Printf.sprintf "%.0f" f | None -> "-" in
+        let bool k =
+          match Json.bool_opt (Json.mem k j) with
+          | Some true -> "yes"
+          | Some false -> "NO"
+          | None -> "-"
+        in
+        out "| %s | %s | %d | %s | %s | %s |" file (num "pr")
+          (List.length (Json.arr (Json.mem "workloads" j)))
+          (num "cores") (bool "gated") (bool "within_budget"))
+      reports;
+    out "";
+    out "## Workloads";
+    out "";
+    List.iter
+      (fun (file, j) ->
+        out "### %s" file;
+        out "";
+        List.iter
+          (fun w ->
+            let name, metrics = workload_headline w in
+            out "- %s%s" name (if metrics = "" then "" else ": " ^ metrics))
+          (Json.arr (Json.mem "workloads" j));
+        out "")
+      reports;
+    let md = Buffer.contents b in
+    print_string md;
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc
+    in
+    write "BENCH_REPORT.md" md;
+    write "BENCH_REPORT.json"
+      (Json.to_string
+         (Json.Obj
+            [
+              ("merged_from", Json.Arr (List.map (fun (f, _) -> Json.Str f) reports));
+              ("reports", Json.Arr (List.map snd reports));
+            ])
+       ^ "\n");
+    Fmt.pr "@.(written to BENCH_REPORT.md and BENCH_REPORT.json)@."
   end
 
 (* ==================================================================== *)
@@ -1064,6 +1470,8 @@ let all_experiments =
     ("OBS", fig_obs);
     ("REPLAY", fig_replay);
     ("PAR", fig_par);
+    ("SCALE", fig_scale);
+    ("REPORT", fig_report);
     ("BENCH", bechamel_suite);
   ]
 

@@ -25,9 +25,10 @@ let family_arg =
   Arg.(
     value
     & opt (enum [ ("random", `Random); ("path", `Path); ("ring", `Ring); ("grid", `Grid);
-                  ("complete", `Complete); ("star", `Star) ])
+                  ("complete", `Complete); ("star", `Star); ("hypertree", `Hypertree) ])
         `Random
-    & info [ "family" ] ~docv:"FAMILY" ~doc:"Graph family: random, path, ring, grid, complete, star.")
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:"Graph family: random, path, ring, grid, complete, star, hypertree.")
 
 let faults_arg =
   Arg.(value & opt int 1 & info [ "faults" ] ~docv:"F" ~doc:"Number of faults to inject.")
@@ -47,17 +48,33 @@ let md_cell s = String.concat "\\|" (String.split_on_char '|' s)
 let async_arg =
   Arg.(value & flag & info [ "async" ] ~doc:"Use the asynchronous daemon and handshake mode.")
 
+(* n rounded down to the nearest complete-binary-tree size 2^(h+1)-1 *)
+let hypertree_height n =
+  let h = ref 2 in
+  while (1 lsl (!h + 2)) - 1 <= n do incr h done;
+  !h
+
+(* At and above this size the O(1)-memory streamed CSR builders take over
+   for the families that have them (same topology, a different — still
+   seed-deterministic — weight draw).  Below it the Random.State builders
+   keep every historical instance byte-identical. *)
+let stream_threshold = 50_000
+
 let make_graph family n seed =
   let st = Gen.rng seed in
   match family with
-  | `Random -> Gen.random_connected st n
+  | `Random -> if n >= stream_threshold then Gen.stream_random ~seed n else Gen.random_connected st n
   | `Path -> Gen.path st n
   | `Ring -> Gen.ring st n
   | `Grid ->
       let side = max 2 (int_of_float (sqrt (float_of_int n))) in
-      Gen.grid st side side
+      if n >= stream_threshold then Gen.stream_grid ~seed side side else Gen.grid st side side
   | `Complete -> Gen.complete st n
   | `Star -> Gen.star st n
+  | `Hypertree ->
+      let h = hypertree_height n in
+      if n >= stream_threshold then Gen.stream_hypertree ~seed h
+      else fst (Gen.hypertree_like st h)
 
 (* ---------------- construct ---------------- *)
 

@@ -34,14 +34,12 @@ let run ?(initial : Tree.t option) (g : Graph.t) =
         Queue.add 0 q;
         while not (Queue.is_empty q) do
           let u = Queue.pop q in
-          Array.iter
-            (fun (h : Graph.half_edge) ->
-              if not seen.(h.peer) then begin
-                seen.(h.peer) <- true;
-                p.(h.peer) <- u;
-                Queue.add h.peer q
+          Graph.iter_ports g u (fun _ v ->
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                p.(v) <- u;
+                Queue.add v q
               end)
-            (Graph.ports g u)
         done;
         p
   in

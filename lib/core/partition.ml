@@ -339,3 +339,36 @@ let lemma_6_5 (a : assignment) =
           List.length p.members < a.threshold
           && Array.length p.pieces <= 2 * List.length p.members)
     a.parts
+
+(* ---------------- packed codec (Network.Flat) ---------------- *)
+
+(* 6 scalar fields + own count + [own_slots] piece slots *)
+let packed_label_words ~own_slots = 7 + (own_slots * Pieces.packed_words)
+
+let pack_label ~own_slots (l : node_part_label) buf off =
+  buf.(off) <- l.part_root_id;
+  buf.(off + 1) <- l.dfs_rank;
+  buf.(off + 2) <- l.subtree;
+  buf.(off + 3) <- l.k;
+  buf.(off + 4) <- l.depth_in_part;
+  buf.(off + 5) <- l.dbound;
+  let cnt = Array.length l.own in
+  buf.(off + 6) <- cnt;
+  for i = 0 to own_slots - 1 do
+    let o = off + 7 + (i * Pieces.packed_words) in
+    if i < cnt then Pieces.pack l.own.(i) buf o
+    else Array.fill buf o Pieces.packed_words 0
+  done
+
+let unpack_label (buf : int array) off =
+  {
+    part_root_id = buf.(off);
+    dfs_rank = buf.(off + 1);
+    subtree = buf.(off + 2);
+    k = buf.(off + 3);
+    depth_in_part = buf.(off + 4);
+    dbound = buf.(off + 5);
+    own =
+      Array.init buf.(off + 6) (fun i ->
+          Pieces.unpack buf (off + 7 + (i * Pieces.packed_words)));
+  }

@@ -51,3 +51,15 @@ val lemma_6_4 : assignment -> n:int -> bool
 
 val lemma_6_5 : assignment -> bool
 (** Bottom parts: size < threshold, at most 2|P| pieces. *)
+
+val packed_label_words : own_slots:int -> int
+(** Packed image size of a {!node_part_label} whose [own] array is bounded
+    by [own_slots] entries: [7 + own_slots * Pieces.packed_words]. *)
+
+val pack_label : own_slots:int -> node_part_label -> int array -> int -> unit
+(** [pack_label ~own_slots l buf off] writes the fixed-size image at [off];
+    deterministic (unused piece slots are zeroed).  Requires
+    [Array.length l.own <= own_slots]. *)
+
+val unpack_label : int array -> int -> node_part_label
+(** Exact inverse of [pack_label]. *)

@@ -34,3 +34,28 @@ let random st =
     weight = Weight.make ~base:(Random.State.int st 1024) ~in_tree:(Random.State.bool st)
         ~id_u:(Random.State.int st 64) ~id_v:(Random.State.int st 64);
   }
+
+(* ---------------- packed codec (Network.Flat) ---------------- *)
+
+let packed_words = 6
+
+let pack (p : t) buf off =
+  buf.(off) <- p.root_id;
+  buf.(off + 1) <- p.level;
+  buf.(off + 2) <- p.weight.Weight.base;
+  buf.(off + 3) <- p.weight.Weight.anti_tree;
+  buf.(off + 4) <- p.weight.Weight.id_min;
+  buf.(off + 5) <- p.weight.Weight.id_max
+
+let unpack buf off =
+  {
+    root_id = buf.(off);
+    level = buf.(off + 1);
+    weight =
+      {
+        Weight.base = buf.(off + 2);
+        anti_tree = buf.(off + 3);
+        id_min = buf.(off + 4);
+        id_max = buf.(off + 5);
+      };
+  }

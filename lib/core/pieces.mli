@@ -23,3 +23,13 @@ val of_fragment :
 
 val random : Random.State.t -> t
 (** An arbitrary piece, for fault injection. *)
+
+val packed_words : int
+(** Fixed packed image size: 6 words (identity, level, the four weight
+    components). *)
+
+val pack : t -> int array -> int -> unit
+(** [pack p buf off] writes the [packed_words]-word image at [off]. *)
+
+val unpack : int array -> int -> t
+(** Exact inverse of [pack]. *)

@@ -121,14 +121,12 @@ let run ?span (g : Graph.t) =
         (fun (r, members) ->
           let candidate v =
             let best = ref None in
-            Array.iter
-              (fun (h : Graph.half_edge) ->
-                if root_of h.peer <> r then
-                  let cand = w v h.peer in
+            Graph.iter_ports g v (fun _ u ->
+                if root_of u <> r then
+                  let cand = w v u in
                   match !best with
                   | Some (_, _, bw) when Weight.(bw <= cand) -> ()
-                  | _ -> best := Some (v, h.peer, cand))
-              (Graph.ports g v);
+                  | _ -> best := Some (v, u, cand));
             !best
           in
           let cmp (_, _, a) (_, _, b) = Weight.compare a b in

@@ -220,3 +220,55 @@ let corrupt st (s : state) =
     complete = Random.State.bool st;
     last_lvl = Random.State.int st 12 - 1;
   }
+
+(* ---------------- packed codec (Network.Flat) ---------------- *)
+
+(* presence + idx + piece + flag + tag *)
+let car_words = 4 + Pieces.packed_words
+
+let pack_car c buf off =
+  match c with
+  | None -> Array.fill buf off car_words 0
+  | Some c ->
+      buf.(off) <- 1;
+      buf.(off + 1) <- c.idx;
+      Pieces.pack c.piece buf (off + 2);
+      buf.(off + 2 + Pieces.packed_words) <- Bool.to_int c.flag;
+      buf.(off + 3 + Pieces.packed_words) <- Bool.to_int c.tag
+
+let unpack_car buf off =
+  if buf.(off) = 0 then None
+  else
+    Some
+      {
+        idx = buf.(off + 1);
+        piece = Pieces.unpack buf (off + 2);
+        flag = buf.(off + 2 + Pieces.packed_words) = 1;
+        tag = buf.(off + 3 + Pieces.packed_words) = 1;
+      }
+
+let packed_words = (2 * car_words) + 6
+
+let pack (s : state) buf off =
+  pack_car s.up buf off;
+  buf.(off + car_words) <- s.want_idx;
+  pack_car s.bc buf (off + car_words + 1);
+  let b = off + (2 * car_words) + 1 in
+  buf.(b) <- s.cursor;
+  buf.(b + 1) <- s.seen;
+  buf.(b + 2) <- Bool.to_int s.complete;
+  buf.(b + 3) <- s.last_lvl;
+  buf.(b + 4) <- Bool.to_int s.alarm
+
+let unpack buf off =
+  let b = off + (2 * car_words) + 1 in
+  {
+    up = unpack_car buf off;
+    want_idx = buf.(off + car_words);
+    bc = unpack_car buf (off + car_words + 1);
+    cursor = buf.(b);
+    seen = buf.(b + 1);
+    complete = buf.(b + 2) = 1;
+    last_lvl = buf.(b + 3);
+    alarm = buf.(b + 4) = 1;
+  }

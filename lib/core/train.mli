@@ -56,3 +56,13 @@ val step :
 
 val corrupt : Random.State.t -> state -> state
 (** Arbitrary register corruption, for fault injection. *)
+
+val packed_words : int
+(** Fixed packed image size of a train register (26 words). *)
+
+val pack : state -> int array -> int -> unit
+(** [pack s buf off] writes the [packed_words]-word image at [off];
+    deterministic (absent cars zero their slots). *)
+
+val unpack : int array -> int -> state
+(** Exact inverse of [pack]. *)

@@ -107,13 +107,9 @@ module Make (C : CONFIG) = struct
       | None -> fail "sp-no-parent"
       | Some p -> if (labels p).sp_depth <> l.sp_depth - 1 then fail "sp-depth"
     end;
-    Array.iter
-      (fun (h : Graph.half_edge) -> if (labels h.peer).sp_root <> l.sp_root then fail "sp-root-agree")
-      (Graph.ports g v);
+    Graph.iter_ports g v (fun _ u -> if (labels u).sp_root <> l.sp_root then fail "sp-root-agree");
     (* Example NumK *)
-    Array.iter
-      (fun (h : Graph.half_edge) -> if (labels h.peer).nk_n <> l.nk_n then fail "nk-agree")
-      (Graph.ports g v);
+    Graph.iter_ports g v (fun _ u -> if (labels u).nk_n <> l.nk_n then fail "nk-agree");
     let sub = List.fold_left (fun acc c -> acc + (labels c).nk_sub) 1 children in
     if l.nk_sub <> sub then fail "nk-sum";
     if is_root && l.nk_sub <> l.nk_n then fail "nk-root";
@@ -373,12 +369,10 @@ module Make (C : CONFIG) = struct
             else member_bot l c.piece ~flag:c.flag
           in
           memb
-          && Array.exists
-               (fun (h : Graph.half_edge) ->
-                 match (read h.peer).cmp.want with
+          && Graph.exists_ports g v (fun _ u ->
+                 match (read u).cmp.want with
                  | Some (srv, j) -> srv = Graph.id g v && j = c.piece.Pieces.level
                  | None -> false)
-               (Graph.ports g v)
       | None -> false
     in
     let step_train which (ts : Train.state) =
@@ -438,12 +432,10 @@ module Make (C : CONFIG) = struct
                then alarm := true);
               match C.mode with
               | Passive ->
-                  Array.iter
-                    (fun (h : Graph.half_edge) ->
-                      match compare_with g v l ask h.peer (read h.peer) ~parent ~children with
+                  Graph.iter_ports g v (fun _ u ->
+                      match compare_with g v l ask u (read u) ~parent ~children with
                       | `Alarm -> alarm := true
-                      | `Ok | `Wait -> ())
-                    (Graph.ports g v);
+                      | `Ok | `Wait -> ());
                   if c.window <= 0 then
                     { c with ask_level = next_level l c.ask_level; ask = None; window = w }
                   else { c with window = c.window - 1 }
@@ -678,4 +670,144 @@ module Make (C : CONFIG) = struct
       Protocol.hash_field s.cmp;
       Bool.to_int s.alarm;
     |]
+
+  (* ---------------- packed codec ----------------
+
+     Fixed per-instance word budget, computed once from the marker: the
+     dynamic life of a register never changes the lengths of its arrays
+     ([corrupt]/[corrupt_field] copy them entry-for-entry), so every
+     reachable state of every node fits the instance-wide maxima below. *)
+
+  let packed_own_slots =
+    Array.fold_left
+      (fun m (l : Marker.node_label) ->
+        max m
+          (max
+             (Array.length l.top.Partition.own)
+             (Array.length l.bot.Partition.own)))
+      1 C.marker.labels
+
+  let packed_max_len =
+    Array.fold_left
+      (fun m (l : Marker.node_label) -> max m l.strings.Labels.len)
+      1 C.marker.labels
+
+  let part_slice = Partition.packed_label_words ~own_slots:packed_own_slots
+
+  (* 6 scalars + strings len + one word per level + the two part labels *)
+  let label_slice = 7 + packed_max_len + (2 * part_slice)
+
+  (* ask_level + ask option/piece + port + want option/pair + window *)
+  let cmp_slice = 1 + (1 + Pieces.packed_words) + 1 + 3 + 1
+
+  let words _g = label_slice + (2 * Train.packed_words) + cmp_slice + 1
+
+  let field_offsets _g =
+    [|
+      0;
+      label_slice;
+      label_slice + Train.packed_words;
+      label_slice + (2 * Train.packed_words);
+      label_slice + (2 * Train.packed_words) + cmp_slice;
+    |]
+
+  let rtag = function Labels.R1 -> 0 | Labels.R0 -> 1 | Labels.RStar -> 2
+  let rsym_of = [| Labels.R1; Labels.R0; Labels.RStar |]
+
+  let etag = function
+    | Labels.Up -> 0
+    | Labels.Down -> 1
+    | Labels.ENone -> 2
+    | Labels.EStar -> 3
+
+  let esym_of = [| Labels.Up; Labels.Down; Labels.ENone; Labels.EStar |]
+
+  let pack_label (l : Marker.node_label) buf off =
+    buf.(off) <- (match l.comp_port with None -> -1 | Some p -> p);
+    buf.(off + 1) <- l.sp_root;
+    buf.(off + 2) <- l.sp_depth;
+    buf.(off + 3) <- l.nk_n;
+    buf.(off + 4) <- l.nk_sub;
+    buf.(off + 5) <- l.delim;
+    let s = l.strings in
+    buf.(off + 6) <- s.Labels.len;
+    for j = 0 to packed_max_len - 1 do
+      buf.(off + 7 + j) <-
+        (if j < s.Labels.len then
+           rtag s.Labels.roots.(j)
+           lor (etag s.Labels.endp.(j) lsl 4)
+           lor (Bool.to_int s.Labels.parents.(j) lsl 8)
+           lor (s.Labels.cnt.(j) lsl 12)
+         else 0)
+    done;
+    let po = off + 7 + packed_max_len in
+    Partition.pack_label ~own_slots:packed_own_slots l.top buf po;
+    Partition.pack_label ~own_slots:packed_own_slots l.bot buf (po + part_slice)
+
+  let unpack_label buf off : Marker.node_label =
+    let len = buf.(off + 6) in
+    let strings =
+      {
+        Labels.len;
+        roots = Array.init len (fun j -> rsym_of.(buf.(off + 7 + j) land 0xf));
+        endp = Array.init len (fun j -> esym_of.((buf.(off + 7 + j) lsr 4) land 0xf));
+        parents = Array.init len (fun j -> (buf.(off + 7 + j) lsr 8) land 0xf = 1);
+        cnt = Array.init len (fun j -> (buf.(off + 7 + j) lsr 12) land 0xf);
+      }
+    in
+    let po = off + 7 + packed_max_len in
+    {
+      comp_port = (if buf.(off) < 0 then None else Some buf.(off));
+      sp_root = buf.(off + 1);
+      sp_depth = buf.(off + 2);
+      nk_n = buf.(off + 3);
+      nk_sub = buf.(off + 4);
+      delim = buf.(off + 5);
+      strings;
+      top = Partition.unpack_label buf po;
+      bot = Partition.unpack_label buf (po + part_slice);
+    }
+
+  let pack_cmp (c : cmp_state) buf off =
+    buf.(off) <- c.ask_level;
+    (match c.ask with
+    | None -> Array.fill buf (off + 1) (1 + Pieces.packed_words) 0
+    | Some p ->
+        buf.(off + 1) <- 1;
+        Pieces.pack p buf (off + 2));
+    let b = off + 2 + Pieces.packed_words in
+    buf.(b) <- c.port;
+    (match c.want with
+    | None -> Array.fill buf (b + 1) 3 0
+    | Some (srv, lvl) ->
+        buf.(b + 1) <- 1;
+        buf.(b + 2) <- srv;
+        buf.(b + 3) <- lvl);
+    buf.(b + 4) <- c.window
+
+  let unpack_cmp buf off =
+    let b = off + 2 + Pieces.packed_words in
+    {
+      ask_level = buf.(off);
+      ask = (if buf.(off + 1) = 0 then None else Some (Pieces.unpack buf (off + 2)));
+      port = buf.(b);
+      want = (if buf.(b + 1) = 0 then None else Some (buf.(b + 2), buf.(b + 3)));
+      window = buf.(b + 4);
+    }
+
+  let pack _g _v (s : state) buf off =
+    pack_label s.label buf off;
+    Train.pack s.train_top buf (off + label_slice);
+    Train.pack s.train_bot buf (off + label_slice + Train.packed_words);
+    pack_cmp s.cmp buf (off + label_slice + (2 * Train.packed_words));
+    buf.(off + label_slice + (2 * Train.packed_words) + cmp_slice) <- Bool.to_int s.alarm
+
+  let unpack _g _v buf off =
+    {
+      label = unpack_label buf off;
+      train_top = Train.unpack buf (off + label_slice);
+      train_bot = Train.unpack buf (off + label_slice + Train.packed_words);
+      cmp = unpack_cmp buf (off + label_slice + (2 * Train.packed_words));
+      alarm = buf.(off + label_slice + (2 * Train.packed_words) + cmp_slice) = 1;
+    }
 end

@@ -9,13 +9,11 @@ let bfs (g : Graph.t) src =
   Queue.add src q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Array.iter
-      (fun (h : Graph.half_edge) ->
-        if d.(h.peer) < 0 then begin
-          d.(h.peer) <- d.(u) + 1;
-          Queue.add h.peer q
+    Graph.iter_ports g u (fun _ v ->
+        if d.(v) < 0 then begin
+          d.(v) <- d.(u) + 1;
+          Queue.add v q
         end)
-      (Graph.ports g u)
   done;
   d
 
@@ -30,13 +28,11 @@ let bfs_within (g : Graph.t) ~member src =
   end;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    Array.iter
-      (fun (h : Graph.half_edge) ->
-        if member h.peer && d.(h.peer) < 0 then begin
-          d.(h.peer) <- d.(u) + 1;
-          Queue.add h.peer q
+    Graph.iter_ports g u (fun _ v ->
+        if member v && d.(v) < 0 then begin
+          d.(v) <- d.(u) + 1;
+          Queue.add v q
         end)
-      (Graph.ports g u)
   done;
   d
 

@@ -121,6 +121,141 @@ let hypertree_like st h =
   let parent = Array.init n (fun v -> if v = 0 then -1 else (v - 1) / 2) in
   (g, Tree.of_parents g parent)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming million-node builders                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The list-skeleton builders above materialize O(m) cons cells (and the
+   distinct-weight pool another O(bound) array) before the graph exists,
+   which caps instances around 10^5 nodes.  The [stream_*] builders below
+   emit edges straight into {!Graph.of_stream} and draw pairwise-distinct
+   weights from a seeded bijection, so construction needs no intermediate
+   edge list at all. *)
+
+(* Deterministic integer mixer for seed-keyed structural choices (random
+   parents, sub-seeds).  Murmur3-style finalizer; result is non-negative. *)
+let mix seed x =
+  let h = x + (seed * 0x632BE59B) + 0x9E3779B9 in
+  let h = (h lxor (h lsr 16)) * 0x85EBCA6B in
+  let h = (h lxor (h lsr 13)) * 0xC2B2AE35 in
+  (h lxor (h lsr 16)) land max_int
+
+(* A keyed bijection on [0, m): a 4-round Feistel network over the smallest
+   even-bit-width domain covering m, cycle-walked back into [0, m).  This
+   hands out m pairwise-distinct values with O(1) memory — the streaming
+   replacement for the O(bound) shuffle pool of [assign_weights]. *)
+let feistel ~seed ~m =
+  if m <= 1 then fun _ -> 0
+  else begin
+    let half = ref 1 in
+    while 1 lsl (2 * !half) < m do
+      incr half
+    done;
+    let half = !half in
+    let mask = (1 lsl half) - 1 in
+    let f k x =
+      let h = (x + 1) * ((k * 2) + 0x9E3779B1) in
+      let h = h lxor (h lsr 15) in
+      let h = h * 0x85EBCA77 in
+      h lxor (h lsr 13)
+    in
+    let rec walk x =
+      let l = ref (x lsr half) and r = ref (x land mask) in
+      for j = 0 to 3 do
+        let t = (!l lxor f ((seed lsl 2) + j) !r) land mask in
+        l := !r;
+        r := t
+      done;
+      let y = (!l lsl half) lor !r in
+      if y < m then y else walk y
+    in
+    walk
+  end
+
+let stream_grid ~seed rows cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then invalid_arg "Gen.stream_grid";
+  let n = rows * cols in
+  let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
+  let w = feistel ~seed ~m in
+  let idx r c = (r * cols) + c in
+  Graph.of_stream ~n (fun f ->
+      let k = ref 0 in
+      let emit u v =
+        f u v (1 + w !k);
+        incr k
+      in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if c + 1 < cols then emit (idx r c) (idx r (c + 1));
+          if r + 1 < rows then emit (idx r c) (idx (r + 1) c)
+        done
+      done)
+
+(* Random attachment without storage: node v's tree parent is a hash of
+   (seed, v) reduced mod v, so the backbone is recomputable in both
+   [of_stream] passes with no parents array.  Chords walk a keyed bijection
+   over the pair space {(u,v) | u < v} — injective, hence never a parallel
+   edge — skipping pairs that collide with a backbone edge. *)
+let stream_random ~seed ?(extra_factor = 2.0) n =
+  if n < 2 then invalid_arg "Gen.stream_random";
+  let extra = int_of_float (extra_factor *. float_of_int n) in
+  let parent_of v = mix seed v mod v in
+  let npairs = n * (n - 1) / 2 in
+  (* rank of (u,v), u < v, in the (0,1) (0,2) .. (0,n-1) (1,2) .. order *)
+  let base u = u * ((2 * n) - u - 1) / 2 in
+  let decode t =
+    let fn = float_of_int n -. 0.5 in
+    let u = ref (int_of_float (fn -. sqrt ((fn *. fn) -. (2.0 *. float_of_int t)))) in
+    if !u < 0 then u := 0;
+    while !u + 1 < n - 1 && base (!u + 1) <= t do
+      incr u
+    done;
+    while !u > 0 && base !u > t do
+      decr u
+    done;
+    (!u, !u + 1 + (t - base !u))
+  in
+  let pair_perm = feistel ~seed:(mix seed 0xC0FFEE) ~m:npairs in
+  let wt = feistel ~seed:(mix seed 0x5EED) ~m:(n - 1 + extra) in
+  Graph.of_stream ~n (fun f ->
+      for v = 1 to n - 1 do
+        f (parent_of v) v (1 + wt (v - 1))
+      done;
+      let budget = min (20 * (extra + 1)) npairs in
+      let accepted = ref 0 and j = ref 0 in
+      while !accepted < extra && !j < budget do
+        let u, v = decode (pair_perm !j) in
+        if parent_of v <> u then begin
+          f u v (1 + wt (n - 1 + !accepted));
+          incr accepted
+        end;
+        incr j
+      done)
+
+(* Streaming variant of {!hypertree_like}: same topology (complete binary
+   tree of height h, one cross edge per sibling-leaf pair) and the same
+   weight structure (tree edges carry the lightest weights, so H(G) — the
+   tree with parent v = (v-1)/2 — is the unique MST).  Returns the graph
+   only; the candidate tree is recoverable from the parent formula. *)
+let stream_hypertree ~seed h =
+  if h < 1 then invalid_arg "Gen.stream_hypertree";
+  let n = (1 lsl (h + 1)) - 1 in
+  let ktree = n - 1 in
+  let first_leaf = (1 lsl h) - 1 in
+  let ncross = (n - first_leaf) / 2 in
+  let wt = feistel ~seed ~m:ktree in
+  let wc = feistel ~seed:(mix seed 0xCA05) ~m:ncross in
+  Graph.of_stream ~n (fun f ->
+      for v = 1 to n - 1 do
+        f ((v - 1) / 2) v (1 + wt (v - 1))
+      done;
+      let k = ref 0 and i = ref first_leaf in
+      while !i + 1 < n do
+        f !i (!i + 1) (ktree + 1 + wc !k);
+        incr k;
+        i := !i + 2
+      done)
+
 (* The path-subdivision transform of Section 9: replace every edge (u,v)
    with a simple path of [2*tau + 2] nodes (the two endpoints plus 2*tau
    fresh inner nodes), components oriented as in Figures 10 and 11: a tree

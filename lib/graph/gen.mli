@@ -44,6 +44,33 @@ val hypertree_like : Random.State.t -> int -> Graph.t * Tree.t
     non-tree edge per node, none at the root.  Returns the graph and the
     candidate tree. *)
 
+(** {2 Streaming million-node builders}
+
+    The builders below emit edges straight into {!Graph.of_stream}: no
+    intermediate edge list, no O(bound) weight pool.  Weights are pairwise
+    distinct, drawn from a seeded Feistel-style bijection, so the MST is
+    unique already under the base weights.  Determinism is by [seed] alone
+    (no [Random.State.t] threading), which is what makes the two-pass
+    streaming construction possible. *)
+
+val feistel : seed:int -> m:int -> int -> int
+(** [feistel ~seed ~m] is a keyed bijection on [[0, m)]: distinct inputs in
+    range give distinct outputs in range.  O(1) memory per call. *)
+
+val stream_grid : seed:int -> int -> int -> Graph.t
+(** [stream_grid ~seed rows cols]: the grid with distinct random weights. *)
+
+val stream_random : seed:int -> ?extra_factor:float -> int -> Graph.t
+(** [stream_random ~seed n]: a random-attachment spanning backbone (node
+    [v]'s parent is hashed from [(seed, v)]) plus about
+    [extra_factor * n] distinct random chords (default 2.0).  Always
+    connected, never multi-edged. *)
+
+val stream_hypertree : seed:int -> int -> Graph.t
+(** [stream_hypertree ~seed h]: the Section 9 lower-bound family at height
+    [h] ([n = 2^(h+1) - 1]), as {!hypertree_like} but streaming; the
+    candidate tree is the parent formula [v -> (v-1)/2]. *)
+
 val subdivide : tau:int -> Graph.t -> Tree.t -> Graph.t * Tree.t
 (** The G → G′ transform of Section 9: every edge becomes a path of
     [2*tau + 2] nodes with components oriented as in Figures 10/11.  H(G′)

@@ -25,11 +25,9 @@ let prim ?(root = 0) (g : Graph.t) (w : weight_fn) =
   let best = Array.make n Weight.infinity in
   let best_via = Array.make n (-1) in
   in_tree.(root) <- true;
-  Array.iter
-    (fun (h : Graph.half_edge) ->
-      best.(h.peer) <- w root h.peer;
-      best_via.(h.peer) <- root)
-    (Graph.ports g root);
+  Graph.iter_ports g root (fun _ u ->
+      best.(u) <- w root u;
+      best_via.(u) <- root);
   for _ = 1 to n - 1 do
     (* pick the lightest fringe node *)
     let pick = ref (-1) in
@@ -41,13 +39,11 @@ let prim ?(root = 0) (g : Graph.t) (w : weight_fn) =
     let v = !pick in
     in_tree.(v) <- true;
     parent.(v) <- best_via.(v);
-    Array.iter
-      (fun (h : Graph.half_edge) ->
-        if (not in_tree.(h.peer)) && Weight.(w v h.peer < best.(h.peer)) then begin
-          best.(h.peer) <- w v h.peer;
-          best_via.(h.peer) <- v
+    Graph.iter_ports g v (fun _ u ->
+        if (not in_tree.(u)) && Weight.(w v u < best.(u)) then begin
+          best.(u) <- w v u;
+          best_via.(u) <- v
         end)
-      (Graph.ports g v)
   done;
   Tree.of_parents g parent
 
@@ -69,13 +65,11 @@ let min_outgoing (g : Graph.t) (w : weight_fn) ~in_set =
   let best = ref None in
   for u = 0 to Graph.n g - 1 do
     if in_set u then
-      Array.iter
-        (fun (h : Graph.half_edge) ->
-          if not (in_set h.peer) then
-            let cand = w u h.peer in
+      Graph.iter_ports g u (fun _ v ->
+          if not (in_set v) then
+            let cand = w u v in
             match !best with
             | Some (_, _, bw) when Weight.(bw <= cand) -> ()
-            | _ -> best := Some (u, h.peer, cand))
-        (Graph.ports g u)
+            | _ -> best := Some (u, v, cand))
   done;
   !best

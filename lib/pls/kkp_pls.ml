@@ -141,9 +141,7 @@ let check_node (t : t) v =
                 if same then fail "c1-not-outgoing")
         | Labels.ENone | Labels.EStar -> ());
         (* C2 + agreement with every neighbour *)
-        Array.iter
-          (fun (h : Graph.half_edge) ->
-            let u = h.peer in
+        Graph.iter_ports g v (fun _ u ->
             let lu = t.labels.(u) in
             let pu = if j < Array.length lu.pieces then lu.pieces.(j) else None in
             let in_tree = parent = Some u || List.mem u children in
@@ -156,7 +154,6 @@ let check_node (t : t) v =
                     ~id_u:(Graph.id g v) ~id_v:(Graph.id g u)
                 in
                 if not Weight.(ask.Pieces.weight <= w) then fail "c2")
-          (Graph.ports g v)
   done;
   List.rev !bad
 

@@ -90,4 +90,51 @@ module Make (C : CONFIG) = struct
 
   let field_names = [| "label"; "alarm" |]
   let encode (s : state) = [| Ssmst_sim.Protocol.hash_field s.label; Bool.to_int s.alarm |]
+
+  (* ---------------- packed codec ----------------
+
+     Only the pieces array and the alarm latch are dynamic: [base] is
+     written by [init] from the scheme and never touched again ([step]
+     keeps the label, [corrupt]/[corrupt_field] replace only pieces), so
+     unpack recovers it from [C.scheme] instead of storing Θ(log² n)
+     bits of marker label per node. *)
+
+  let slot_words = 1 + Pieces.packed_words (* presence + piece *)
+
+  let max_pieces g =
+    let m = ref 0 in
+    for v = 0 to Graph.n g - 1 do
+      m := max !m (Array.length C.scheme.Kkp_pls.labels.(v).Kkp_pls.pieces)
+    done;
+    !m
+
+  let words g = 1 + (max_pieces g * slot_words) + 1
+
+  let field_offsets g = [| 0; 1 + (max_pieces g * slot_words) |]
+
+  let pack g _v (s : state) buf off =
+    let pieces = s.label.Kkp_pls.pieces in
+    let cnt = Array.length pieces in
+    buf.(off) <- cnt;
+    let slots = max_pieces g in
+    for i = 0 to slots - 1 do
+      let o = off + 1 + (i * slot_words) in
+      match if i < cnt then pieces.(i) else None with
+      | None -> Array.fill buf o slot_words 0
+      | Some p ->
+          buf.(o) <- 1;
+          Pieces.pack p buf (o + 1)
+    done;
+    buf.(off + 1 + (slots * slot_words)) <- Bool.to_int s.alarm
+
+  let unpack g v buf off =
+    let pieces =
+      Array.init buf.(off) (fun i ->
+          let o = off + 1 + (i * slot_words) in
+          if buf.(o) = 0 then None else Some (Pieces.unpack buf (o + 1)))
+    in
+    {
+      label = { base = C.scheme.Kkp_pls.labels.(v).Kkp_pls.base; pieces };
+      alarm = buf.(off + 1 + (max_pieces g * slot_words)) = 1;
+    }
 end

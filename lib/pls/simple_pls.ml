@@ -24,9 +24,7 @@ module Spanning = struct
     let l = labels.(v) in
     let ok = ref true in
     (* root identity agreement with all neighbours *)
-    Array.iter
-      (fun (h : Graph.half_edge) -> if labels.(h.peer).root_id <> l.root_id then ok := false)
-      (Graph.ports g v);
+    Graph.iter_ports g v (fun _ u -> if labels.(u).root_id <> l.root_id then ok := false);
     if l.dist = 0 then begin
       if l.root_id <> Graph.id g v then ok := false
     end
@@ -61,10 +59,7 @@ module Size = struct
   let check (g : Graph.t) ~parent ~children (labels : label array) v =
     let l = labels.(v) in
     let ok = ref true in
-    Array.iter
-      (fun (h : Graph.half_edge) ->
-        if labels.(h.peer).claimed_n <> l.claimed_n then ok := false)
-      (Graph.ports g v);
+    Graph.iter_ports g v (fun _ u -> if labels.(u).claimed_n <> l.claimed_n then ok := false);
     let sub = List.fold_left (fun acc c -> acc + labels.(c).subcount) 1 (children v) in
     if l.subcount <> sub then ok := false;
     if parent v = None && l.subcount <> l.claimed_n then ok := false;
@@ -88,9 +83,7 @@ module Height_bound = struct
   let check (g : Graph.t) ~parent (labels : label array) v =
     let l = labels.(v) in
     let ok = ref true in
-    Array.iter
-      (fun (h : Graph.half_edge) -> if labels.(h.peer).bound <> l.bound then ok := false)
-      (Graph.ports g v);
+    Graph.iter_ports g v (fun _ u -> if labels.(u).bound <> l.bound then ok := false);
     (match parent v with
     | None -> if l.dist <> 0 then ok := false
     | Some p -> if labels.(p).dist <> l.dist - 1 then ok := false);

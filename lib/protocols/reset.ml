@@ -35,11 +35,9 @@ module Make (App : Protocol.S) = struct
     let is_leader = bfs.Ss_bfs.parent < 0 in
     (* requests: mine (app alarm) or bubbling up from BFS children *)
     let child_request =
-      Array.exists
-        (fun (h : Graph.half_edge) ->
-          let su = read h.peer in
+      Graph.exists_ports g v (fun _ u ->
+          let su = read u in
           su.bfs.Ss_bfs.parent = v && su.request)
-        (Graph.ports g v)
     in
     let wants_reset = App.alarm s.app || child_request in
     if is_leader then begin

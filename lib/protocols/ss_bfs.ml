@@ -30,14 +30,12 @@ module P = struct
     let my_id = Graph.id g v in
     (* best (leader, dist) among neighbours with a legal distance *)
     let best = ref None in
-    Array.iter
-      (fun (h : Graph.half_edge) ->
-        let s = read h.peer in
+    Graph.iter_ports g v (fun _ u ->
+        let s = read u in
         if s.dist < n then
           match !best with
           | Some (l, d, _) when l > s.leader || (l = s.leader && d <= s.dist) -> ()
-          | _ -> best := Some (s.leader, s.dist, h.peer))
-      (Graph.ports g v);
+          | _ -> best := Some (s.leader, s.dist, u));
     match !best with
     | Some (l, d, u) when l > my_id -> { leader = l; dist = d + 1; parent = u }
     | Some _ | None -> { leader = my_id; dist = 0; parent = -1 }
@@ -63,6 +61,18 @@ module P = struct
 
   let field_names = [| "leader"; "dist"; "parent" |]
   let encode s = [| s.leader; s.dist; s.parent |]
+
+  (* packed codec: one word per field *)
+  let words _ = 3
+  let field_offsets _ = [| 0; 1; 2 |]
+
+  let pack _ _ (s : state) buf off =
+    buf.(off) <- s.leader;
+    buf.(off + 1) <- s.dist;
+    buf.(off + 2) <- s.parent
+
+  let unpack _ _ buf off =
+    { leader = buf.(off); dist = buf.(off + 1); parent = buf.(off + 2) }
 end
 
 module Net = Network.Make (P)

@@ -31,7 +31,7 @@ module Make (P : Protocol.S) = struct
 
   let step g v (s : state) read =
     let ready =
-      Array.for_all (fun (h : Graph.half_edge) -> (read h.peer).pulse >= s.pulse) (Graph.ports g v)
+      Graph.for_all_ports g v (fun _ u -> (read u).pulse >= s.pulse)
     in
     if not ready then s
     else begin

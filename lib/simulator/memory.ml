@@ -23,3 +23,22 @@ let of_array f a = of_nat (Array.length a) + Array.fold_left (fun acc x -> acc +
 
 (* A string over a small alphabet, [card] symbols per position. *)
 let of_symbol_string ~card ~len = len * of_nat (card - 1)
+
+(* ---------------- measured (packed) footprints ---------------- *)
+
+(* The helpers above model the paper's bit counts; the ones below measure
+   what the flat engine actually stores: whole 64-bit words.  The SCALE
+   experiments report both sides and gate their ratio. *)
+
+(* ⌈log2 n⌉ for n >= 2 (and 1 for n <= 2): the per-node unit of the
+   Section 2.4 memory-size claim. *)
+let log2_ceil n = if n <= 2 then 1 else of_nat (n - 1)
+
+let bits_of_words w = 64 * w
+let bytes_of_words w = 8 * w
+
+(* Whether a packed register budget of [words] 64-bit words per node stays
+   within [c] * ⌈log2 n⌉ bits — the "small constant factor" gate of the
+   scale experiments.  The word quantization alone costs a factor 64 on
+   tiny states, so useful values of [c] start around 64. *)
+let within_log_budget ~c ~n ~words = bits_of_words words <= c * log2_ceil n

@@ -34,20 +34,30 @@ module Naive (P : Protocol.S) = struct
 
   let create graph =
     let states = Array.init (Graph.n graph) (P.init graph) in
-    { graph; states; rounds = 0; peak_bits = 0 }
+    let peak = Array.fold_left (fun acc s -> max acc (P.bits s)) 0 states in
+    { graph; states; rounds = 0; peak_bits = peak }
 
   let graph t = t.graph
   let state t v = t.states.(v)
   let states t = t.states
-  let set_state t v s = t.states.(v) <- s
+
+  (* Peak bits are maintained incrementally: every state the network ever
+     holds passes through [create], [touch] (on change) or [set_state], so
+     the per-round full rescan the engine used to do is redundant. *)
+  let touch t s = if P.bits s > t.peak_bits then t.peak_bits <- P.bits s
+
+  let set_state t v s =
+    t.states.(v) <- s;
+    touch t s
+
   let rounds t = t.rounds
 
+  (* Safety-net rescan, kept for API compatibility; incremental tracking
+     makes it a no-op on every reachable configuration. *)
   let record_memory t =
     Array.iter (fun s -> if P.bits s > t.peak_bits then t.peak_bits <- P.bits s) t.states
 
-  let peak_bits t =
-    record_memory t;
-    t.peak_bits
+  let peak_bits t = t.peak_bits
 
   (* One synchronous round: all nodes step on a snapshot. *)
   let sync_round t =
@@ -57,9 +67,14 @@ module Naive (P : Protocol.S) = struct
         invalid_arg "Network.step: reading a non-neighbour"
       else snapshot.(u)
     in
-    t.states <- Array.mapi (fun v s -> P.step t.graph v s (read v)) snapshot;
-    t.rounds <- t.rounds + 1;
-    record_memory t
+    t.states <-
+      Array.mapi
+        (fun v s ->
+          let s' = P.step t.graph v s (read v) in
+          if not (P.equal s' s) then touch t s';
+          s')
+        snapshot;
+    t.rounds <- t.rounds + 1
 
   (* One asynchronous round under a fair daemon: nodes fire sequentially per
      the daemon's schedule and read fresh registers. *)
@@ -72,10 +87,15 @@ module Naive (P : Protocol.S) = struct
             invalid_arg "Network.step: reading a non-neighbour"
           else t.states.(u)
         in
-        t.states.(v) <- P.step t.graph v t.states.(v) (read))
+        let s = t.states.(v) in
+        let s' = P.step t.graph v s (read) in
+        if not (P.equal s' s) then begin
+          t.states.(v) <- s';
+          touch t s'
+        end
+        else t.states.(v) <- s')
       schedule;
-    t.rounds <- t.rounds + 1;
-    record_memory t
+    t.rounds <- t.rounds + 1
 
   let round t daemon = if Scheduler.is_sync daemon then sync_round t else async_round t daemon
 
@@ -113,13 +133,9 @@ module Naive (P : Protocol.S) = struct
      are deterministic (ascending node index; see {!Fault}), so identical
      seeds reproduce identical post-fault configurations. *)
   let inject t st (model : Fault.t) =
-    let faults =
-      Inject.apply st t.graph model
-        ~get:(fun v -> t.states.(v))
-        ~set:(fun v s' -> t.states.(v) <- s')
-    in
-    record_memory t;
-    faults
+    Inject.apply st t.graph model
+      ~get:(fun v -> t.states.(v))
+      ~set:(fun v s' -> set_state t v s')
 
   (* Corrupt [count] distinct random nodes; returns the sorted list of
      faulty nodes. *)
@@ -182,7 +198,7 @@ module Make (P : Protocol.S) = struct
      neighbour's. *)
   let dirty_neighbourhood t v =
     mark_dirty t v;
-    Array.iter (fun (h : Graph.half_edge) -> mark_dirty t h.peer) (Graph.ports t.graph v)
+    Graph.iter_ports t.graph v (fun _ u -> mark_dirty t u)
 
   let emit t e = match t.trace with None -> () | Some tr -> Trace.record tr e
 
@@ -257,10 +273,9 @@ module Make (P : Protocol.S) = struct
   let read_cause t v ~distinct ~stamp =
     if distinct = Graph.degree t.graph v then full_cause t v
     else begin
-      let ps = Graph.ports t.graph v in
       let ports = ref [] in
-      for p = Array.length ps - 1 downto 0 do
-        if t.read_mark.(ps.(p).Graph.peer) = stamp then ports := p :: !ports
+      for p = Graph.degree t.graph v - 1 downto 0 do
+        if t.read_mark.(Graph.peer_at t.graph v p) = stamp then ports := p :: !ports
       done;
       Trace.Neighbor_read !ports
     end
@@ -533,6 +548,262 @@ module Make (P : Protocol.S) = struct
 
   (* Max hop distance from any fault to the closest alarming node: the
      paper's detection distance (Section 2.4). *)
+  let detection_distance t ~faults =
+    Dist.detection_distance t.graph ~faults ~alarms:(alarming_nodes t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The flat struct-of-arrays engine                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* {!Flat} runs a {!Protocol.PACKED} protocol with every register packed
+   into one flat int array of [n * words] entries — the struct-of-arrays
+   layout that makes the paper's O(log n)-bits-per-node claim literal in
+   process memory.  Scheduling is the same event-driven dirty-set logic as
+   {!Make} (same skip rule, same canonical ascending-id write order, same
+   daemon RNG consumption), so states and round counts stay bit-identical
+   to both other engines under every daemon; the three-way differential
+   suite pins this down.
+
+   States are unpacked on demand and never cached: reads allocate transient
+   minor-heap values that die young, so resident memory stays dominated by
+   the register file itself — [8 * words] measured bytes per node, which is
+   what the SCALE experiments gate against the modeled c·⌈log n⌉ bound.
+   Tracing and the flight-recorder write hook stay on {!Make}: provenance
+   capture needs retained unpacked states and is the opposite of a memory
+   experiment. *)
+
+module Flat (P : Protocol.PACKED) = struct
+  type t = {
+    graph : Graph.t;
+    words : int;  (* per-node register budget *)
+    regs : int array;  (* the register file: node v at [v * words] *)
+    mutable rounds : int;
+    mutable peak_bits : int;  (* modeled bits (P.bits), as in Make *)
+    dirty : bool array;
+    mutable frontier : int list;
+    alarm_flags : bool array;
+    mutable alarm_count : int;
+    last_write : int array;
+    metrics : Metrics.t;
+  }
+
+  let mark_dirty t v =
+    if not t.dirty.(v) then begin
+      t.dirty.(v) <- true;
+      t.frontier <- v :: t.frontier
+    end
+
+  let dirty_neighbourhood t v =
+    mark_dirty t v;
+    Graph.iter_ports t.graph v (fun _ u -> mark_dirty t u)
+
+  let state t v = P.unpack t.graph v t.regs (v * t.words)
+
+  let create graph =
+    let n = Graph.n graph in
+    let words = P.words graph in
+    let regs = Array.make (n * words) 0 in
+    let alarm_flags = Array.make n false in
+    let peak = ref 0 in
+    let alarms = ref 0 in
+    for v = 0 to n - 1 do
+      let s = P.init graph v in
+      P.pack graph v s regs (v * words);
+      if P.bits s > !peak then peak := P.bits s;
+      let a = P.alarm s in
+      alarm_flags.(v) <- a;
+      if a then incr alarms
+    done;
+    let t =
+      {
+        graph;
+        words;
+        regs;
+        rounds = 0;
+        peak_bits = !peak;
+        dirty = Array.make n true;
+        frontier = List.init n Fun.id;
+        alarm_flags;
+        alarm_count = !alarms;
+        last_write = Array.make n 0;
+        metrics = Metrics.create ();
+      }
+    in
+    t.metrics.Metrics.peak_bits <- !peak;
+    t
+
+  let graph t = t.graph
+  let states t = Array.init (Graph.n t.graph) (state t)
+  let rounds t = t.rounds
+  let metrics t = t.metrics
+  let words t = t.words
+
+  (* The measured per-node footprint of this engine: whole 64-bit words,
+     against which {!Memory.within_log_budget} gates the modeled bound. *)
+  let measured_bytes_per_node t = Memory.bytes_of_words t.words
+
+  (* The single register-write path, mirroring {!Make.apply_write} minus
+     trace/hook provenance. *)
+  let apply_write t ~round v s' =
+    P.pack t.graph v s' t.regs (v * t.words);
+    let b = P.bits s' in
+    if b > t.peak_bits then t.peak_bits <- b;
+    if b > t.metrics.Metrics.peak_bits then t.metrics.Metrics.peak_bits <- b;
+    t.metrics.Metrics.register_writes <- t.metrics.Metrics.register_writes + 1;
+    t.metrics.Metrics.last_write_round <- round;
+    t.last_write.(v) <- round;
+    let was = t.alarm_flags.(v) and now = P.alarm s' in
+    if was <> now then begin
+      t.alarm_flags.(v) <- now;
+      if now then begin
+        t.alarm_count <- t.alarm_count + 1;
+        t.metrics.Metrics.alarms_raised <- t.metrics.Metrics.alarms_raised + 1
+      end
+      else begin
+        t.alarm_count <- t.alarm_count - 1;
+        t.metrics.Metrics.alarms_cleared <- t.metrics.Metrics.alarms_cleared + 1
+      end
+    end
+
+  let set_state t v s =
+    apply_write t ~round:t.rounds v s;
+    dirty_neighbourhood t v
+
+  let last_write_round t v = t.last_write.(v)
+  let peak_bits t = t.peak_bits
+
+  (* One synchronous round: dirty nodes step on the pre-round register
+     file (writes are deferred), clean nodes are provably no-ops. *)
+  let sync_round t =
+    let round = t.rounds + 1 in
+    let members =
+      List.filter
+        (fun v ->
+          if t.dirty.(v) then begin
+            t.dirty.(v) <- false;
+            true
+          end
+          else false)
+        t.frontier
+    in
+    t.frontier <- [];
+    let members = List.sort compare members in
+    let writes =
+      List.fold_left
+        (fun acc v ->
+          t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
+          let read u =
+            if not (Graph.has_edge t.graph v u) then
+              invalid_arg "Network.step: reading a non-neighbour";
+            state t u
+          in
+          let own = state t v in
+          let s' = P.step t.graph v own read in
+          if P.equal s' own then begin
+            t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1;
+            acc
+          end
+          else (v, s') :: acc)
+        [] members
+    in
+    t.metrics.Metrics.skipped_activations <-
+      t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
+    t.rounds <- round;
+    t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    List.iter
+      (fun (v, s') ->
+        apply_write t ~round v s';
+        dirty_neighbourhood t v)
+      (List.rev writes)
+
+  let compact t =
+    let live =
+      List.filter
+        (fun v ->
+          if t.dirty.(v) then begin
+            t.dirty.(v) <- false;
+            true
+          end
+          else false)
+        t.frontier
+    in
+    List.iter (fun v -> t.dirty.(v) <- true) live;
+    t.frontier <- live
+
+  (* One asynchronous round: same schedule draw and skip rule as {!Make};
+     fired nodes read fresh registers. *)
+  let async_round t daemon =
+    let round = t.rounds + 1 in
+    let schedule = Scheduler.round_schedule daemon (Graph.n t.graph) in
+    List.iter
+      (fun v ->
+        if t.dirty.(v) then begin
+          t.dirty.(v) <- false;
+          t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
+          let read u =
+            if not (Graph.has_edge t.graph v u) then
+              invalid_arg "Network.step: reading a non-neighbour";
+            state t u
+          in
+          let own = state t v in
+          let s' = P.step t.graph v own read in
+          if P.equal s' own then
+            t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1
+          else begin
+            apply_write t ~round v s';
+            dirty_neighbourhood t v
+          end
+        end
+        else
+          t.metrics.Metrics.skipped_activations <- t.metrics.Metrics.skipped_activations + 1)
+      schedule;
+    t.rounds <- round;
+    t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    compact t
+
+  let round t daemon = if Scheduler.is_sync daemon then sync_round t else async_round t daemon
+
+  let run t daemon ~rounds =
+    for _ = 1 to rounds do
+      round t daemon
+    done
+
+  let any_alarm t = t.alarm_count > 0
+
+  let alarming_nodes t =
+    let acc = ref [] in
+    Array.iteri (fun v a -> if a then acc := v :: !acc) t.alarm_flags;
+    !acc
+
+  let run_until t daemon ~max_rounds stop =
+    let executed = ref 0 and reached = ref (stop t) in
+    while (not !reached) && !executed < max_rounds do
+      round t daemon;
+      incr executed;
+      reached := stop t
+    done;
+    (!executed, !reached)
+
+  let detection_time t daemon ~max_rounds =
+    let executed, reached = run_until t daemon ~max_rounds any_alarm in
+    if reached then Some executed else None
+
+  module Inject = Fault.Apply (P)
+
+  (* Same RNG consumption as the other engines; every rewrite funnels
+     through [apply_write] so alarm/memory tracking and the dirty set see
+     the fault. *)
+  let inject t st (model : Fault.t) =
+    Inject.apply st t.graph model
+      ~get:(fun v -> state t v)
+      ~set:(fun v s' ->
+        t.metrics.Metrics.faults_injected <- t.metrics.Metrics.faults_injected + 1;
+        apply_write t ~round:t.rounds v s';
+        dirty_neighbourhood t v)
+
+  let inject_faults t st ~count = inject t st (Fault.uniform ~count)
+
   let detection_distance t ~faults =
     Dist.detection_distance t.graph ~faults ~alarms:(alarming_nodes t)
 end

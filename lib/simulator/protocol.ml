@@ -61,6 +61,48 @@ module type S = sig
       write. *)
 end
 
+(* The packed-register codec: a protocol whose states fit a fixed per-node
+   budget of 64-bit words can run on {!Network.Flat}, which stores all n
+   registers in one flat int array — the struct-of-arrays layout that makes
+   the paper's O(log n)-bits-per-node claim literal in process memory.
+
+   Contract: [pack] and [unpack] must be exact inverses on every state the
+   engine can hold — [init] outputs, [step] outputs, and the outputs of
+   [corrupt] / [corrupt_field] on such states (fault injection preserves
+   instance-fixed array lengths, which is what makes a fixed word budget
+   computable).  [pack] must be deterministic and write its entire slice
+   (zero-filling unused tail words), so that equal states produce equal
+   slices. *)
+module type CODEC = sig
+  type state
+
+  val words : Graph.t -> int
+  (** The fixed per-node register budget, in 64-bit words.  Constant per
+      instance; [8 * words g] is the measured bytes-per-node the SCALE
+      experiments gate against the modeled c·⌈log n⌉ bound. *)
+
+  val field_offsets : Graph.t -> int array
+  (** Start word of each field's sub-slice within the budget, aligned
+      index-for-index with {!S.field_names}: packing two states that differ
+      only in field [i] changes words only in
+      [[field_offsets.(i), field_offsets.(i+1))] (or up to [words g] for
+      the last field). *)
+
+  val pack : Graph.t -> int -> state -> int array -> int -> unit
+  (** [pack g v s buf off] serializes [s] into [buf.(off) ..
+      buf.(off + words g - 1)]. *)
+
+  val unpack : Graph.t -> int -> int array -> int -> state
+  (** [unpack g v buf off] is the inverse of [pack]. *)
+end
+
+(** A protocol together with its packed codec: what {!Network.Flat}
+    consumes. *)
+module type PACKED = sig
+  include S
+  include CODEC with type state := state
+end
+
 (* Fingerprint for compound fields (records, arrays, variants): the default
    [Hashtbl.hash] only samples ~10 leaves, which silently misses deep
    changes in large labels; widening both limits makes a changed field

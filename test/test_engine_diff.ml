@@ -16,11 +16,11 @@ module Flood = struct
   let init g v = { best = Graph.id g v; hops = 0 }
 
   let step g v (s : state) read =
-    Array.fold_left
-      (fun acc (h : Graph.half_edge) ->
-        let su = read h.peer in
+    Graph.fold_ports g v
+      (fun acc _ u ->
+        let su = read u in
         if su.best > acc.best then { best = su.best; hops = su.hops + 1 } else acc)
-      s (Graph.ports g v)
+      s
 
   let alarm _ = false
   let equal (a : state) (b : state) = a = b

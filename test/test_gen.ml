@@ -78,9 +78,74 @@ let qcheck_subdivide_iff =
       let g', t' = Gen.subdivide ~tau:1 g t in
       Mst.is_mst g (Graph.plain_weight_fn g) t = Mst.is_mst g' (Graph.plain_weight_fn g') t')
 
+(* ---------------- streaming builders ---------------- *)
+
+let test_feistel_bijection () =
+  List.iter
+    (fun m ->
+      let p = Gen.feistel ~seed:42 ~m in
+      let seen = Array.make m false in
+      for i = 0 to m - 1 do
+        let y = p i in
+        Alcotest.(check bool) "in range" true (y >= 0 && y < m);
+        Alcotest.(check bool) "not seen" false seen.(y);
+        seen.(y) <- true
+      done)
+    [ 1; 2; 3; 7; 64; 1000; 4097 ]
+
+let check_stream name g expected_n =
+  Alcotest.(check int) (name ^ " nodes") expected_n (Graph.n g);
+  Alcotest.(check bool) (name ^ " connected") true (Graph.is_connected g);
+  let ws = Graph.fold_edges (fun l _ _ w -> w :: l) [] g in
+  Alcotest.(check int)
+    (name ^ " distinct weights")
+    (List.length ws)
+    (List.length (List.sort_uniq compare ws))
+
+let test_stream_builders () =
+  check_stream "grid" (Gen.stream_grid ~seed:7 20 30) 600;
+  Alcotest.(check int) "grid edges" ((20 * 29) + (30 * 19))
+    (Graph.num_edges (Gen.stream_grid ~seed:7 20 30));
+  check_stream "random" (Gen.stream_random ~seed:7 500) 500;
+  check_stream "hypertree" (Gen.stream_hypertree ~seed:7 8) 511;
+  (* repeatable from the seed alone *)
+  Alcotest.(check bool) "random repeatable" true
+    (Graph.edges (Gen.stream_random ~seed:9 300) = Graph.edges (Gen.stream_random ~seed:9 300))
+
+let test_stream_hypertree_is_lower_bound_family () =
+  let g = Gen.stream_hypertree ~seed:11 4 in
+  let n = Graph.n g in
+  let parent = Array.init n (fun v -> if v = 0 then -1 else (v - 1) / 2) in
+  let t = Tree.of_parents g parent in
+  Alcotest.(check bool) "H(G) is the MST" true (Mst.is_mst g (Graph.plain_weight_fn g) t);
+  for v = 0 to n - 1 do
+    let non_tree =
+      Array.to_list (Graph.neighbours g v)
+      |> List.filter (fun u -> not (Tree.is_tree_edge t v u))
+    in
+    Alcotest.(check bool) "at most one cross edge" true (List.length non_tree <= 1);
+    if v = Tree.root t then Alcotest.(check int) "root has no cross edge" 0 (List.length non_tree)
+  done
+
+let qcheck_stream_random =
+  QCheck.Test.make ~name:"stream_random: connected, distinct weights, no parallel edges"
+    ~count:60
+    QCheck.(pair (int_range 2 120) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let g = Gen.stream_random ~seed n in
+      Graph.is_connected g
+      &&
+      let ws = Graph.fold_edges (fun l _ _ w -> w :: l) [] g in
+      List.length ws = List.length (List.sort_uniq compare ws))
+
 let suite =
   [
     Alcotest.test_case "generator shapes" `Quick test_shapes;
+    Alcotest.test_case "feistel bijection" `Quick test_feistel_bijection;
+    Alcotest.test_case "streaming builders" `Quick test_stream_builders;
+    Alcotest.test_case "streaming hypertree properties" `Quick
+      test_stream_hypertree_is_lower_bound_family;
+    QCheck_alcotest.to_alcotest qcheck_stream_random;
     Alcotest.test_case "random graphs connected" `Quick test_connectivity;
     Alcotest.test_case "distinct weights" `Quick test_distinct_weights;
     Alcotest.test_case "hypertree family properties" `Quick test_hypertree_properties;

@@ -28,6 +28,7 @@ let () =
       ("forge", Test_forge.suite);
       ("figure-1", Test_fig1.suite);
       ("engine-diff", Test_engine_diff.suite);
+      ("flat-core", Test_flat.suite);
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);

@@ -26,11 +26,11 @@ module Flood = struct
   let init g v = { best = Graph.id g v; hops = 0 }
 
   let step g v (s : state) read =
-    Array.fold_left
-      (fun acc (h : Graph.half_edge) ->
-        let su = read h.peer in
+    Graph.fold_ports g v
+      (fun acc _ u ->
+        let su = read u in
         if su.best > acc.best then { best = su.best; hops = su.hops + 1 } else acc)
-      s (Graph.ports g v)
+      s
 
   let alarm _ = false
   let equal (a : state) (b : state) = a = b
@@ -52,11 +52,7 @@ module Watch = struct
   let init _ _ = { value = 0; alarmed = false }
 
   let step g v (s : state) read =
-    let disagree =
-      Array.exists
-        (fun (h : Graph.half_edge) -> (read h.peer).value <> s.value)
-        (Graph.ports g v)
-    in
+    let disagree = Graph.exists_ports g v (fun _ u -> (read u).value <> s.value) in
     if disagree && not s.alarmed then { s with alarmed = true } else s
 
   let alarm s = s.alarmed

@@ -9,10 +9,7 @@ module Flood = struct
   let init g v = { best = Graph.id g v; alarmed = false }
 
   let step g v (s : state) read =
-    let best =
-      Array.fold_left (fun acc (h : Graph.half_edge) -> max acc (read h.peer).best) s.best
-        (Graph.ports g v)
-    in
+    let best = Graph.fold_ports g v (fun acc _ u -> max acc (read u).best) s.best in
     { s with best }
 
   let alarm s = s.alarmed

@@ -13,11 +13,11 @@ module Sync_bfs = struct
 
   let step g v (s : state) read =
     let best =
-      Array.fold_left
-        (fun acc (h : Graph.half_edge) ->
-          let d = (read h.peer).dist in
+      Graph.fold_ports g v
+        (fun acc _ u ->
+          let d = (read u).dist in
           if d < max_int then min acc (d + 1) else acc)
-        s.dist (Graph.ports g v)
+        s.dist
     in
     ignore v;
     { dist = best; round = s.round + 1 }

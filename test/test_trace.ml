@@ -139,9 +139,7 @@ module Watch = struct
   let init _ _ = { value = 0; alarmed = false }
 
   let step g v (s : state) read =
-    let disagree =
-      Array.exists (fun (h : Graph.half_edge) -> (read h.peer).value <> s.value) (Graph.ports g v)
-    in
+    let disagree = Graph.exists_ports g v (fun _ u -> (read u).value <> s.value) in
     { s with alarmed = s.alarmed || disagree }
 
   let alarm s = s.alarmed
@@ -206,9 +204,7 @@ module Flood = struct
   let init g v = { best = Graph.id g v }
 
   let step g v (s : state) read =
-    Array.fold_left
-      (fun acc (h : Graph.half_edge) -> { best = max acc.best (read h.peer).best })
-      s (Graph.ports g v)
+    Graph.fold_ports g v (fun acc _ u -> { best = max acc.best (read u).best }) s
 
   let alarm _ = false
   let equal (a : state) (b : state) = a = b
