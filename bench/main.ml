@@ -896,245 +896,6 @@ let fig_replay () =
         (List.map (fun (n, _, _, _, _, ov, _) -> Fmt.str "%s (%+.1f%%)" n (100. *. ov)) fs);
       exit 1
 
-(* ==================================================================== *)
-(* PAR — parallel campaign scaling + byte-determinism + BENCH_PR5.json   *)
-(* ==================================================================== *)
-
-(* The fork pool's two contracts, measured on the real campaign sweep:
-   (1) the CSV/JSONL bytes are identical for every -j (checked here on
-   every run, unconditionally), and (2) -j 4 is at least 2.5x faster than
-   sequential — a physical claim that only means something with >= 4
-   cores, so the speedup gate is core-aware: on smaller machines the row
-   is informational and BENCH_PR5.json records gated=false.  CI (and
-   noisy shared runners) can soften the target via SSMST_PAR_MIN_SPEEDUP.
-   Results land in BENCH_PR5.json (or $SSMST_BENCH_PR5_JSON). *)
-let par_min_speedup () =
-  match Sys.getenv_opt "SSMST_PAR_MIN_SPEEDUP" with
-  | Some s -> (try max 1.0 (float_of_string s) with _ -> 2.5)
-  | None -> 2.5
-
-let fig_par () =
-  header "PAR — parallel campaign sweep: fork-pool scaling vs sequential";
-  let families = [ "random"; "grid" ] and sizes = [ 48; 64 ] in
-  let fault_counts = [ 1; 2; 4 ] and models = [ "uniform"; "clustered"; "near-root" ] in
-  let sweep jobs =
-    Verifier_campaign.sweep ~jobs ~families ~sizes ~fault_counts ~models ~seeds:3 ~seed:9500
-      ~max_rounds:20000 ()
-  in
-  (* the exact bytes msst campaign would write: CSV document + JSONL *)
-  let doc trials =
-    String.concat "\n" (Campaign.csv_header :: List.map Campaign.trial_to_csv trials)
-    ^ "\n"
-    ^ String.concat "\n" (List.map Campaign.trial_to_json trials)
-  in
-  let time jobs =
-    let t0 = Unix.gettimeofday () in
-    let trials = sweep jobs in
-    (Unix.gettimeofday () -. t0, trials)
-  in
-  let t1, seq = time 1 in
-  let base = doc seq in
-  Fmt.pr "%d instances x %d trials each; %d trials total@."
-    (List.length families * List.length sizes * 3)
-    (List.length fault_counts * List.length models)
-    (List.length seq);
-  Fmt.pr "%-10s %12s %10s %10s@." "jobs" "wall" "speedup" "identical";
-  line ();
-  Fmt.pr "%-10d %9.3f s %10s %10s@." 1 t1 "1.00x" "-";
-  let rows =
-    List.map
-      (fun jobs ->
-        let tj, trials = time jobs in
-        let same = String.equal (doc trials) base in
-        Fmt.pr "%-10d %9.3f s %9.2fx %10b@." jobs tj (t1 /. tj) same;
-        (jobs, tj, t1 /. tj, same))
-      [ 2; 4 ]
-  in
-  let cores = Ssmst_parallel.Pool.cpu_count () in
-  let min_speedup = par_min_speedup () in
-  let gated = cores >= 4 in
-  let identical = List.for_all (fun (_, _, _, same) -> same) rows in
-  let speedup4 =
-    match List.find_opt (fun (j, _, _, _) -> j = 4) rows with
-    | Some (_, _, s, _) -> s
-    | None -> 0.
-  in
-  let within = identical && ((not gated) || speedup4 >= min_speedup) in
-  let json_path =
-    Option.value ~default:"BENCH_PR5.json" (Sys.getenv_opt "SSMST_BENCH_PR5_JSON")
-  in
-  let oc = open_out json_path in
-  Printf.fprintf oc
-    {|{"pr":5,"cores":%d,"min_speedup":%.2f,"gated":%b,"trials":%d,"workloads":[%s],"identical":%b,"within_budget":%b}
-|}
-    cores min_speedup gated (List.length seq)
-    (String.concat ","
-       ((Printf.sprintf {|{"jobs":1,"wall_s":%.6f,"speedup":1.0,"identical":true}|} t1)
-       :: List.map
-            (fun (jobs, tj, s, same) ->
-              Printf.sprintf {|{"jobs":%d,"wall_s":%.6f,"speedup":%.3f,"identical":%b}|} jobs
-                tj s same)
-            rows))
-    identical within;
-  close_out oc;
-  Fmt.pr "@.%d core(s); speedup gate (>= %.2fx at -j 4) %s@." cores min_speedup
-    (if gated then "enforced" else "informational (needs >= 4 cores)");
-  if not gated then Fmt.pr "gate skipped: %d cores (scaling gate needs >= 4)@." cores;
-  Fmt.pr "(machine-readable results written to %s)@." json_path;
-  if not identical then begin
-    Fmt.pr "PAR determinism violated: parallel CSV/JSONL differ from sequential.@.";
-    exit 1
-  end;
-  if gated && speedup4 < min_speedup then begin
-    Fmt.pr "PAR scaling budget missed: %.2fx at -j 4 (target %.2fx).@." speedup4 min_speedup;
-    exit 1
-  end
-
-(* ==================================================================== *)
-(* SCALE — the million-node unlock: flat engine over streamed CSR graphs *)
-(* ==================================================================== *)
-
-(* The flat-core acceptance experiment: stream-build n ∈ {10^4, 10^5, 10^6}
-   instances of each family directly into CSR (no intermediate edge list),
-   run the packed ss-bfs election on {!Network.Flat} and gate
-
-   - measured bytes/node: [8 * words] must stay within 64·⌈log2 n⌉ bits
-     (the Section 2.4 memory-size claim, in whole 64-bit words);
-   - throughput: at least $SSMST_SCALE_MIN_RPS rounds/sec (default 1.0 —
-     a liveness floor, not a performance claim; the printed numbers are
-     the claim);
-   - residency: the VmHWM high-water delta of each instance must stay
-     within 6x its accounted storage (CSR arrays + register file) plus a
-     fixed GC slack — the "memory is the register file" honesty check.
-
-   CI trims the sweep with SSMST_SCALE_MAX_N (the smoke job runs 10^5).
-   Results land in BENCH_PR6.json (or $SSMST_BENCH_PR6_JSON). *)
-
-let vm_hwm_kb () =
-  match open_in "/proc/self/status" with
-  | exception Sys_error _ -> None
-  | ic ->
-      let rec go acc =
-        match input_line ic with
-        | exception End_of_file ->
-            close_in ic;
-            acc
-        | line ->
-            let acc =
-              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
-                try
-                  Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
-                    (fun k -> Some k)
-                with Scanf.Scan_failure _ | Failure _ | End_of_file -> acc
-              else acc
-            in
-            go acc
-      in
-      go None
-
-let scale_max_n () =
-  match Sys.getenv_opt "SSMST_SCALE_MAX_N" with
-  | Some s -> ( try max 1 (int_of_string s) with _ -> 1_000_000)
-  | None -> 1_000_000
-
-let scale_min_rps () =
-  match Sys.getenv_opt "SSMST_SCALE_MIN_RPS" with
-  | Some s -> ( try float_of_string s with _ -> 0.25)
-  | None -> 0.25
-
-(* the streamed instance of each family closest to the target size *)
-let scale_instance family target seed =
-  match family with
-  | "grid" ->
-      let side = int_of_float (sqrt (float_of_int target)) in
-      Gen.stream_grid ~seed side side
-  | "random" -> Gen.stream_random ~seed target
-  | "hypertree" ->
-      (* n = 2^(h+1) - 1: the height whose size is nearest the target *)
-      let size h = (1 lsl (h + 1)) - 1 in
-      let rec fit h = if size h >= target then h else fit (h + 1) in
-      let h = fit 1 in
-      let h = if h > 1 && target - size (h - 1) < size h - target then h - 1 else h in
-      Gen.stream_hypertree ~seed h
-  | f -> invalid_arg ("scale_instance: unknown family " ^ f)
-
-let fig_scale () =
-  header "SCALE — flat engine over streamed CSR instances (packed ss-bfs election)";
-  let module P = Ssmst_protocols.Ss_bfs.P in
-  let module F = Network.Flat (P) in
-  let max_n = scale_max_n () and min_rps = scale_min_rps () in
-  let sizes = List.filter (fun n -> n <= max_n) [ 10_000; 100_000; 1_000_000 ] in
-  let rounds = 20 in
-  Fmt.pr "%-10s %-9s %8s %6s %9s %9s %10s %9s %8s@." "family" "n" "build" "B/node" "budget"
-    "run" "rounds/s" "rss MB" "rss ok";
-  line ();
-  let rows = ref [] in
-  List.iter
-    (fun target ->
-      List.iter
-        (fun family ->
-          let hwm0 = Option.value ~default:0 (vm_hwm_kb ()) in
-          let g, build_s = wall (fun () -> scale_instance family target (6400 + target)) in
-          let n = Graph.n g in
-          let net, create_s = wall (fun () -> F.create g) in
-          let (), run_s = wall (fun () -> F.run net Scheduler.Sync ~rounds) in
-          let rps = float_of_int rounds /. run_s in
-          let bytes_per_node = F.measured_bytes_per_node net in
-          let budget_ok = Memory.within_log_budget ~c:64 ~n ~words:(F.words net) in
-          let hwm1 = Option.value ~default:0 (vm_hwm_kb ()) in
-          let rss_delta_mb = float_of_int (hwm1 - hwm0) /. 1024. in
-          let accounted_mb =
-            float_of_int ((8 * Graph.storage_words g) + (bytes_per_node * n))
-            /. (1024. *. 1024.)
-          in
-          (* 6x accounted + 256 MB GC slack; only meaningful when this
-             instance actually raised the high-water mark *)
-          let rss_ok = rss_delta_mb <= (6. *. accounted_mb) +. 256. in
-          Fmt.pr "%-10s %-9d %7.2fs %6d %9s %8.2fs %10.2f %9.1f %8b@." family n
-            (build_s +. create_s) bytes_per_node
-            (if budget_ok then "ok" else "OVER")
-            run_s rps rss_delta_mb rss_ok;
-          rows :=
-            (family, n, build_s +. create_s, bytes_per_node, budget_ok, run_s, rps,
-             rss_delta_mb, accounted_mb, rss_ok)
-            :: !rows)
-        [ "grid"; "random"; "hypertree" ])
-    sizes;
-  let rows = List.rev !rows in
-  let within =
-    List.for_all
-      (fun (_, _, _, _, budget_ok, _, rps, _, _, rss_ok) ->
-        budget_ok && rss_ok && rps >= min_rps)
-      rows
-  in
-  let json_path =
-    Option.value ~default:"BENCH_PR6.json" (Sys.getenv_opt "SSMST_BENCH_PR6_JSON")
-  in
-  let oc = open_out json_path in
-  Printf.fprintf oc
-    {|{"pr":6,"engine":"flat","protocol":"ss-bfs","rounds":%d,"max_n":%d,"min_rounds_per_sec":%.2f,"workloads":[%s],"within_budget":%b}
-|}
-    rounds max_n min_rps
-    (String.concat ","
-       (List.map
-          (fun (family, n, build_s, bpn, budget_ok, run_s, rps, rss, acc, rss_ok) ->
-            Printf.sprintf
-              {|{"family":"%s","n":%d,"build_s":%.3f,"bytes_per_node":%d,"log_budget_ok":%b,"run_s":%.3f,"rounds_per_sec":%.1f,"rss_delta_mb":%.1f,"accounted_mb":%.1f,"rss_ok":%b}|}
-              family n build_s bpn budget_ok run_s rps rss acc rss_ok)
-          rows))
-    within;
-  close_out oc;
-  Fmt.pr "@.modeled bound: 64 * ceil(log2 n) bits/node; measured: 8 * words bytes/node.@.";
-  Fmt.pr "(machine-readable results written to %s)@." json_path;
-  if not within then begin
-    Fmt.pr "SCALE gates missed (see the budget/rss columns above).@.";
-    exit 1
-  end
-
-(* ==================================================================== *)
-(* REPORT — merge every BENCH_*.json into one trend table                *)
-(* ==================================================================== *)
-
 (* A minimal JSON reader for the bench artifacts (the container has no
    JSON library baked in, and the artifacts are all machine-written flat
    objects).  Supports the full grammar minus escapes beyond quote,
@@ -1274,8 +1035,394 @@ module Json = struct
   let arr = function Some (Arr l) -> l | _ -> []
 end
 
-(* One line summarizing a workload entry, tolerant of each PR's shape. *)
-let workload_headline (w : Json.t) =
+(* Never let an un-gated run (too few cores for the scaling gate) clobber
+   an artifact that records a gated one: REPORT would then chart the
+   degraded speedups as if they were measured on real parallelism — the
+   PR 5 blind spot, where a 1-core container's 0.88x @ -j 4 sat in the
+   trend table as an apparent regression.  SSMST_PAR_FORCE=1 overrides.
+   Returns whether the artifact was written. *)
+let write_artifact_guarded ~json_path ~gated contents =
+  let existing_gated =
+    match open_in json_path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let body = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (match Json.parse body with
+        | j -> Json.bool_opt (Json.mem "gated" j)
+        | exception Json.Bad _ -> None)
+  in
+  let force = Sys.getenv_opt "SSMST_PAR_FORCE" = Some "1" in
+  match existing_gated with
+  | Some true when (not gated) && not force ->
+      Fmt.pr
+        "NOT overwriting %s: it records a gated (>= 4 cores) run and this run is un-gated; \
+         set SSMST_PAR_FORCE=1 to overwrite anyway.@."
+        json_path;
+      false
+  | _ ->
+      let oc = open_out json_path in
+      output_string oc contents;
+      close_out oc;
+      Fmt.pr "(machine-readable results written to %s)@." json_path;
+      true
+
+(* ==================================================================== *)
+(* PAR — parallel campaign scaling + byte-determinism + BENCH_PR5.json   *)
+(* ==================================================================== *)
+
+(* The fork pool's two contracts, measured on the real campaign sweep:
+   (1) the CSV/JSONL bytes are identical for every -j (checked here on
+   every run, unconditionally), and (2) -j 4 is at least 2.5x faster than
+   sequential — a physical claim that only means something with >= 4
+   cores, so the speedup gate is core-aware: on smaller machines the row
+   is informational and BENCH_PR5.json records gated=false.  CI (and
+   noisy shared runners) can soften the target via SSMST_PAR_MIN_SPEEDUP.
+   Results land in BENCH_PR5.json (or $SSMST_BENCH_PR5_JSON). *)
+let par_min_speedup () =
+  match Sys.getenv_opt "SSMST_PAR_MIN_SPEEDUP" with
+  | Some s -> (try max 1.0 (float_of_string s) with _ -> 2.5)
+  | None -> 2.5
+
+let fig_par () =
+  header "PAR — parallel campaign sweep: fork-pool scaling vs sequential";
+  let families = [ "random"; "grid" ] and sizes = [ 48; 64 ] in
+  let fault_counts = [ 1; 2; 4 ] and models = [ "uniform"; "clustered"; "near-root" ] in
+  let sweep jobs =
+    Verifier_campaign.sweep ~jobs ~families ~sizes ~fault_counts ~models ~seeds:3 ~seed:9500
+      ~max_rounds:20000 ()
+  in
+  (* the exact bytes msst campaign would write: CSV document + JSONL *)
+  let doc trials =
+    String.concat "\n" (Campaign.csv_header :: List.map Campaign.trial_to_csv trials)
+    ^ "\n"
+    ^ String.concat "\n" (List.map Campaign.trial_to_json trials)
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let trials = sweep jobs in
+    (Unix.gettimeofday () -. t0, trials)
+  in
+  let t1, seq = time 1 in
+  let base = doc seq in
+  Fmt.pr "%d instances x %d trials each; %d trials total@."
+    (List.length families * List.length sizes * 3)
+    (List.length fault_counts * List.length models)
+    (List.length seq);
+  Fmt.pr "%-10s %12s %10s %10s@." "jobs" "wall" "speedup" "identical";
+  line ();
+  Fmt.pr "%-10d %9.3f s %10s %10s@." 1 t1 "1.00x" "-";
+  let rows =
+    List.map
+      (fun jobs ->
+        let tj, trials = time jobs in
+        let same = String.equal (doc trials) base in
+        Fmt.pr "%-10d %9.3f s %9.2fx %10b@." jobs tj (t1 /. tj) same;
+        (jobs, tj, t1 /. tj, same))
+      [ 2; 4 ]
+  in
+  let cores = Ssmst_parallel.Pool.cpu_count () in
+  let min_speedup = par_min_speedup () in
+  let gated = cores >= 4 in
+  let identical = List.for_all (fun (_, _, _, same) -> same) rows in
+  let speedup4 =
+    match List.find_opt (fun (j, _, _, _) -> j = 4) rows with
+    | Some (_, _, s, _) -> s
+    | None -> 0.
+  in
+  let within = identical && ((not gated) || speedup4 >= min_speedup) in
+  let json_path =
+    Option.value ~default:"BENCH_PR5.json" (Sys.getenv_opt "SSMST_BENCH_PR5_JSON")
+  in
+  let contents =
+    Printf.sprintf
+      {|{"pr":5,"cores":%d,"min_speedup":%.2f,"gated":%b,"trials":%d,"workloads":[%s],"identical":%b,"within_budget":%b}
+|}
+      cores min_speedup gated (List.length seq)
+      (String.concat ","
+         ((Printf.sprintf {|{"jobs":1,"wall_s":%.6f,"speedup":1.0,"identical":true}|} t1)
+         :: List.map
+              (fun (jobs, tj, s, same) ->
+                Printf.sprintf {|{"jobs":%d,"wall_s":%.6f,"speedup":%.3f,"identical":%b}|} jobs
+                  tj s same)
+              rows))
+      identical within
+  in
+  Fmt.pr "@.%d core(s); speedup gate (>= %.2fx at -j 4) %s@." cores min_speedup
+    (if gated then "enforced" else "informational (needs >= 4 cores)");
+  if not gated then Fmt.pr "gate skipped: %d cores (scaling gate needs >= 4)@." cores;
+  ignore (write_artifact_guarded ~json_path ~gated contents);
+  if not identical then begin
+    Fmt.pr "PAR determinism violated: parallel CSV/JSONL differ from sequential.@.";
+    exit 1
+  end;
+  if gated && speedup4 < min_speedup then begin
+    Fmt.pr "PAR scaling budget missed: %.2fx at -j 4 (target %.2fx).@." speedup4 min_speedup;
+    exit 1
+  end
+
+(* ==================================================================== *)
+(* SCALE — the million-node unlock: flat engine over streamed CSR graphs *)
+(* ==================================================================== *)
+
+(* The flat-core acceptance experiment: stream-build n ∈ {10^4, 10^5, 10^6}
+   instances of each family directly into CSR (no intermediate edge list),
+   run the packed ss-bfs election on {!Network.Flat} and gate
+
+   - measured bytes/node: [8 * words] must stay within 64·⌈log2 n⌉ bits
+     (the Section 2.4 memory-size claim, in whole 64-bit words);
+   - throughput: at least $SSMST_SCALE_MIN_RPS rounds/sec (default 1.0 —
+     a liveness floor, not a performance claim; the printed numbers are
+     the claim);
+   - residency: the VmHWM high-water delta of each instance must stay
+     within 6x its accounted storage (CSR arrays + register file) plus a
+     fixed GC slack — the "memory is the register file" honesty check.
+
+   CI trims the sweep with SSMST_SCALE_MAX_N (the smoke job runs 10^5).
+   Results land in BENCH_PR6.json (or $SSMST_BENCH_PR6_JSON). *)
+
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            acc
+        | line ->
+            let acc =
+              if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+                try
+                  Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+                    (fun k -> Some k)
+                with Scanf.Scan_failure _ | Failure _ | End_of_file -> acc
+              else acc
+            in
+            go acc
+      in
+      go None
+
+let scale_max_n () =
+  match Sys.getenv_opt "SSMST_SCALE_MAX_N" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 1_000_000)
+  | None -> 1_000_000
+
+let scale_min_rps () =
+  match Sys.getenv_opt "SSMST_SCALE_MIN_RPS" with
+  | Some s -> ( try float_of_string s with _ -> 0.25)
+  | None -> 0.25
+
+(* the streamed instance of each family closest to the target size *)
+let scale_instance family target seed =
+  match family with
+  | "grid" ->
+      let side = int_of_float (sqrt (float_of_int target)) in
+      Gen.stream_grid ~seed side side
+  | "random" -> Gen.stream_random ~seed target
+  | "hypertree" ->
+      (* n = 2^(h+1) - 1: the height whose size is nearest the target *)
+      let size h = (1 lsl (h + 1)) - 1 in
+      let rec fit h = if size h >= target then h else fit (h + 1) in
+      let h = fit 1 in
+      let h = if h > 1 && target - size (h - 1) < size h - target then h - 1 else h in
+      Gen.stream_hypertree ~seed h
+  | f -> invalid_arg ("scale_instance: unknown family " ^ f)
+
+let fig_scale () =
+  header "SCALE — flat engine over streamed CSR instances (packed ss-bfs election)";
+  let module P = Ssmst_protocols.Ss_bfs.P in
+  let module F = Network.Flat (P) in
+  let max_n = scale_max_n () and min_rps = scale_min_rps () in
+  let sizes = List.filter (fun n -> n <= max_n) [ 10_000; 100_000; 1_000_000 ] in
+  let rounds = 20 in
+  (* SSMST_DOMAINS > 1 runs every instance's sync rounds domain-parallel;
+     states/metrics are byte-identical, only rounds/s moves *)
+  let domains = Ssmst_parallel.Domain_pool.domains_from_env ~var:"SSMST_DOMAINS" ~default:1 () in
+  if domains > 1 then
+    Fmt.pr "sync rounds sharded across %d domains (multicore runtime: %b)@." domains
+      Ssmst_parallel.Domain_pool.available;
+  Fmt.pr "%-10s %-9s %8s %6s %9s %9s %10s %9s %8s@." "family" "n" "build" "B/node" "budget"
+    "run" "rounds/s" "rss MB" "rss ok";
+  line ();
+  let rows = ref [] in
+  List.iter
+    (fun target ->
+      List.iter
+        (fun family ->
+          let hwm0 = Option.value ~default:0 (vm_hwm_kb ()) in
+          let g, build_s = wall (fun () -> scale_instance family target (6400 + target)) in
+          let n = Graph.n g in
+          let net, create_s = wall (fun () -> F.create ~domains g) in
+          let (), run_s = wall (fun () -> F.run net Scheduler.Sync ~rounds) in
+          let rps = float_of_int rounds /. run_s in
+          let bytes_per_node = F.measured_bytes_per_node net in
+          let budget_ok = Memory.within_log_budget ~c:64 ~n ~words:(F.words net) in
+          let hwm1 = Option.value ~default:0 (vm_hwm_kb ()) in
+          let rss_delta_mb = float_of_int (hwm1 - hwm0) /. 1024. in
+          let accounted_mb =
+            float_of_int ((8 * Graph.storage_words g) + (bytes_per_node * n))
+            /. (1024. *. 1024.)
+          in
+          (* 6x accounted + 256 MB GC slack; only meaningful when this
+             instance actually raised the high-water mark *)
+          let rss_ok = rss_delta_mb <= (6. *. accounted_mb) +. 256. in
+          Fmt.pr "%-10s %-9d %7.2fs %6d %9s %8.2fs %10.2f %9.1f %8b@." family n
+            (build_s +. create_s) bytes_per_node
+            (if budget_ok then "ok" else "OVER")
+            run_s rps rss_delta_mb rss_ok;
+          rows :=
+            (family, n, build_s +. create_s, bytes_per_node, budget_ok, run_s, rps,
+             rss_delta_mb, accounted_mb, rss_ok)
+            :: !rows)
+        [ "grid"; "random"; "hypertree" ])
+    sizes;
+  let rows = List.rev !rows in
+  let within =
+    List.for_all
+      (fun (_, _, _, _, budget_ok, _, rps, _, _, rss_ok) ->
+        budget_ok && rss_ok && rps >= min_rps)
+      rows
+  in
+  let json_path =
+    Option.value ~default:"BENCH_PR6.json" (Sys.getenv_opt "SSMST_BENCH_PR6_JSON")
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    {|{"pr":6,"engine":"flat","protocol":"ss-bfs","rounds":%d,"max_n":%d,"domains":%d,"min_rounds_per_sec":%.2f,"workloads":[%s],"within_budget":%b}
+|}
+    rounds max_n domains min_rps
+    (String.concat ","
+       (List.map
+          (fun (family, n, build_s, bpn, budget_ok, run_s, rps, rss, acc, rss_ok) ->
+            Printf.sprintf
+              {|{"family":"%s","n":%d,"build_s":%.3f,"bytes_per_node":%d,"log_budget_ok":%b,"run_s":%.3f,"rounds_per_sec":%.1f,"rss_delta_mb":%.1f,"accounted_mb":%.1f,"rss_ok":%b}|}
+              family n build_s bpn budget_ok run_s rps rss acc rss_ok)
+          rows))
+    within;
+  close_out oc;
+  Fmt.pr "@.modeled bound: 64 * ceil(log2 n) bits/node; measured: 8 * words bytes/node.@.";
+  Fmt.pr "(machine-readable results written to %s)@." json_path;
+  if not within then begin
+    Fmt.pr "SCALE gates missed (see the budget/rss columns above).@.";
+    exit 1
+  end
+
+(* ==================================================================== *)
+(* DOMAINS — intra-instance scaling: Flat sync rounds across domains     *)
+(* ==================================================================== *)
+
+(* The tentpole acceptance experiment: one large Flat instance, its sync
+   rounds sharded across -d 1/2/4 domains.  Byte-identity of the register
+   file and the metrics CSV row across every domain count is checked
+   unconditionally on every run; the >= 2x @ -d 4 speedup gate is
+   core-aware — enforced only on >= 4 cores AND a multicore runtime
+   (SSMST_DOMAIN_MIN_SPEEDUP overrides the target).  Periodic
+   deterministic fault bursts keep the frontier wide: a converged election
+   is quiescent and has nothing to parallelize.  Results land in
+   BENCH_PR7.json (or $SSMST_BENCH_PR7_JSON), written through the same
+   gated-artifact guard as PAR. *)
+
+let domains_min_speedup () =
+  match Sys.getenv_opt "SSMST_DOMAIN_MIN_SPEEDUP" with
+  | Some s -> ( try max 1.0 (float_of_string s) with _ -> 2.0)
+  | None -> 2.0
+
+let domains_target_n () =
+  match Sys.getenv_opt "SSMST_DOMAINS_N" with
+  | Some s -> ( try max 1024 (int_of_string s) with _ -> 250_000)
+  | None -> 250_000
+
+let fig_domains () =
+  header "DOMAINS — domain-parallel sync rounds on one Network.Flat instance";
+  let module P = Ssmst_protocols.Ss_bfs.P in
+  let module F = Network.Flat (P) in
+  let target = domains_target_n () in
+  let side = max 2 (int_of_float (sqrt (float_of_int target))) in
+  let g = Gen.stream_grid ~seed:7700 side side in
+  let rounds = 12 in
+  let run d =
+    let net = F.create ~domains:d g in
+    let (), s =
+      wall (fun () ->
+          for r = 1 to rounds do
+            (* a burst every 4 rounds, same seeds at every -d *)
+            if r mod 4 = 1 then
+              ignore (F.inject net (Gen.rng (9000 + r)) (Fault.uniform ~count:64));
+            F.round net Scheduler.Sync
+          done)
+    in
+    (s, F.registers net, Metrics.to_csv_row (F.metrics net))
+  in
+  Fmt.pr "grid n=%d, %d sync rounds with fault bursts; multicore runtime: %b@." (Graph.n g)
+    rounds Ssmst_parallel.Domain_pool.available;
+  Fmt.pr "%-10s %12s %10s %10s@." "domains" "wall" "speedup" "identical";
+  line ();
+  let t1, regs1, csv1 = run 1 in
+  Fmt.pr "%-10d %9.3f s %10s %10s@." 1 t1 "1.00x" "-";
+  let rows =
+    List.map
+      (fun d ->
+        let td, regs, csv = run d in
+        let same = regs = regs1 && String.equal csv csv1 in
+        Fmt.pr "%-10d %9.3f s %9.2fx %10b@." d td (t1 /. td) same;
+        (d, td, t1 /. td, same))
+      [ 2; 4 ]
+  in
+  let cores = Ssmst_parallel.Pool.cpu_count () in
+  let min_speedup = domains_min_speedup () in
+  let gated = cores >= 4 && Ssmst_parallel.Domain_pool.available in
+  let identical = List.for_all (fun (_, _, _, same) -> same) rows in
+  let speedup4 =
+    match List.find_opt (fun (d, _, _, _) -> d = 4) rows with
+    | Some (_, _, s, _) -> s
+    | None -> 0.
+  in
+  let within = identical && ((not gated) || speedup4 >= min_speedup) in
+  let json_path =
+    Option.value ~default:"BENCH_PR7.json" (Sys.getenv_opt "SSMST_BENCH_PR7_JSON")
+  in
+  let contents =
+    Printf.sprintf
+      {|{"pr":7,"engine":"flat","protocol":"ss-bfs","n":%d,"rounds":%d,"cores":%d,"min_speedup":%.2f,"gated":%b,"workloads":[%s],"identical":%b,"within_budget":%b}
+|}
+      (Graph.n g) rounds cores min_speedup gated
+      (String.concat ","
+         ((Printf.sprintf {|{"domains":1,"wall_s":%.6f,"speedup":1.0,"identical":true}|} t1)
+         :: List.map
+              (fun (d, td, s, same) ->
+                Printf.sprintf {|{"domains":%d,"wall_s":%.6f,"speedup":%.3f,"identical":%b}|} d
+                  td s same)
+              rows))
+      identical within
+  in
+  Fmt.pr "@.%d core(s); speedup gate (>= %.2fx at -d 4) %s@." cores min_speedup
+    (if gated then "enforced"
+     else if not Ssmst_parallel.Domain_pool.available then
+       "informational (sequential runtime — OCaml < 5.0)"
+     else "informational (needs >= 4 cores)");
+  if not gated then Fmt.pr "gate skipped: %d cores (scaling gate needs >= 4)@." cores;
+  ignore (write_artifact_guarded ~json_path ~gated contents);
+  if not identical then begin
+    Fmt.pr "DOMAINS determinism violated: registers/metrics differ from -d 1.@.";
+    exit 1
+  end;
+  if gated && speedup4 < min_speedup then begin
+    Fmt.pr "DOMAINS scaling budget missed: %.2fx at -d 4 (target %.2fx).@." speedup4
+      min_speedup;
+    exit 1
+  end
+
+(* ==================================================================== *)
+(* REPORT — merge every BENCH_*.json into one trend table                *)
+(* ==================================================================== *)
+
+(* One line summarizing a workload entry, tolerant of each PR's shape.
+   [gated]/[cores] come from the enclosing artifact: a speedup measured on
+   an un-gated run (too few cores for the parallelism to be physical) is
+   NOT a measurement and must not read like one — render it SKIPPED
+   instead of charting a 1-core 0.88x as a regression. *)
+let workload_headline ~gated ~cores (w : Json.t) =
   let name =
     match (Json.str_opt (Json.mem "name" w), Json.str_opt (Json.mem "family" w)) with
     | Some n, _ -> n
@@ -1284,9 +1431,18 @@ let workload_headline (w : Json.t) =
         | Some n -> Printf.sprintf "%s n=%.0f" f n
         | None -> f)
     | None, None -> (
-        match Json.num_opt (Json.mem "jobs" w) with
-        | Some j -> Printf.sprintf "-j %.0f" j
-        | None -> "?")
+        match
+          (Json.num_opt (Json.mem "jobs" w), Json.num_opt (Json.mem "domains" w))
+        with
+        | Some j, _ -> Printf.sprintf "-j %.0f" j
+        | None, Some d -> Printf.sprintf "-d %.0f" d
+        | None, None -> "?")
+  in
+  let speedup =
+    match Json.num_opt (Json.mem "speedup" w) with
+    | None -> None
+    | Some s when gated -> Some (Printf.sprintf "speedup %.2fx" s)
+    | Some _ -> Some (Printf.sprintf "speedup SKIPPED (%.0f core(s))" cores)
   in
   let metrics =
     List.filter_map
@@ -1294,13 +1450,12 @@ let workload_headline (w : Json.t) =
         Option.map (fun v -> Printf.sprintf fmt v) (Json.num_opt (Json.mem key w)))
       [
         ("overhead_pct", "overhead %+.1f%%");
-        ("speedup", "speedup %.2fx");
         ("rounds_per_sec", "%.1f rounds/s");
         ("bytes_per_node", "%.0f B/node");
         ("rss_delta_mb", "rss %.1f MB");
       ]
   in
-  (name, String.concat ", " metrics)
+  (name, String.concat ", " (Option.to_list speedup @ metrics))
 
 let fig_report () =
   header "REPORT — merged bench artifacts (BENCH_*.json)";
@@ -1369,9 +1524,13 @@ let fig_report () =
       (fun (file, j) ->
         out "### %s" file;
         out "";
+        (* artifacts without a cores field predate the parallel gates and
+           report no speedups; treat them as gated so nothing is hidden *)
+        let gated = Option.value ~default:true (Json.bool_opt (Json.mem "gated" j)) in
+        let cores = Option.value ~default:1. (Json.num_opt (Json.mem "cores" j)) in
         List.iter
           (fun w ->
-            let name, metrics = workload_headline w in
+            let name, metrics = workload_headline ~gated ~cores w in
             out "- %s%s" name (if metrics = "" then "" else ": " ^ metrics))
           (Json.arr (Json.mem "workloads" j));
         out "")
@@ -1471,6 +1630,7 @@ let all_experiments =
     ("REPLAY", fig_replay);
     ("PAR", fig_par);
     ("SCALE", fig_scale);
+    ("DOMAINS", fig_domains);
     ("REPORT", fig_report);
     ("BENCH", bechamel_suite);
   ]

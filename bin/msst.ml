@@ -48,6 +48,20 @@ let md_cell s = String.concat "\\|" (String.split_on_char '|' s)
 let async_arg =
   Arg.(value & flag & info [ "async" ] ~doc:"Use the asynchronous daemon and handshake mode.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "d"; "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains per synchronous round (intra-instance parallelism; OCaml 5 \
+           runtimes only — ignored on 4.14).  0 (the default) reads $(b,MSST_DOMAINS), \
+           falling back to 1 (sequential).  States, traces and metrics are byte-identical \
+           at every count.")
+
+(* the effective domain count: the flag wins, else MSST_DOMAINS, else 1 *)
+let resolve_domains d =
+  if d > 0 then d else Ssmst_parallel.Domain_pool.domains_from_env ~default:1 ()
+
 (* n rounded down to the nearest complete-binary-tree size 2^(h+1)-1 *)
 let hypertree_height n =
   let h = ref 2 in
@@ -96,7 +110,7 @@ let construct family n seed =
 
 (* ---------------- verify ---------------- *)
 
-let verify family n seed faults async_ =
+let verify family n seed faults async_ domains =
   let g = make_graph family n seed in
   let m = Marker.run g in
   let mode = if async_ then Verifier.Handshake else Verifier.Passive in
@@ -107,7 +121,7 @@ let verify family n seed faults async_ =
   end in
   let module P = Verifier.Make (C) in
   let module Net = Network.Make (P) in
-  let net = Net.create g in
+  let net = Net.create ~domains:(resolve_domains domains) g in
   Net.run net daemon ~rounds:(8 * Verifier.window_bound m.labels.(0));
   Fmt.pr "settled after %d rounds; alarms: %b (must be false)@." (Net.rounds net)
     (Net.any_alarm net);
@@ -127,11 +141,11 @@ let verify family n seed faults async_ =
 
 (* ---------------- stabilize ---------------- *)
 
-let stabilize family n seed faults async_ =
+let stabilize family n seed faults async_ domains =
   let g = make_graph family n seed in
   let mode = if async_ then Verifier.Handshake else Verifier.Passive in
   let daemon = if async_ then Scheduler.Async_random (Gen.rng (seed + 1)) else Scheduler.Sync in
-  let t = Transformer.create ~mode ~daemon g in
+  let t = Transformer.create ~mode ~daemon ~domains:(resolve_domains domains) g in
   Fmt.pr "stabilized in %d rounds; output weight %d@."
     (Transformer.stabilization_rounds t)
     (Tree.total_base_weight (Transformer.tree t));
@@ -636,12 +650,12 @@ let construct_cmd =
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"Run the self-stabilizing verifier; optionally inject faults.")
-    Term.(const verify $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg)
+    Term.(const verify $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg $ domains_arg)
 
 let stabilize_cmd =
   Cmd.v
     (Cmd.info "stabilize" ~doc:"Run the transformer-based self-stabilizing MST scenario.")
-    Term.(const stabilize $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg)
+    Term.(const stabilize $ family_arg $ n_arg $ seed_arg $ faults_arg $ async_arg $ domains_arg)
 
 let out_arg =
   Arg.(

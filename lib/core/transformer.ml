@@ -66,6 +66,7 @@ type t = {
   graph : Graph.t;
   mode : Verifier.mode;
   daemon : Scheduler.t;
+  domains : int;  (* sync-round worker domains on the verification network *)
   obs : observatory;
   mutable marker : Marker.t;
   mutable total_rounds : int;
@@ -139,7 +140,7 @@ let install (t : t) =
   end in
   let module P = Verifier.Make (C) in
   let module Net = Network.Make (P) in
-  let net = Net.create t.graph in
+  let net = Net.create ~domains:t.domains t.graph in
   t.probe <-
     Some
       {
@@ -188,7 +189,8 @@ let install (t : t) =
 
 (* Start from an arbitrary initial configuration: the transformer's first
    act is a reconstruction. *)
-let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) ?(obs = no_observatory) g =
+let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) ?(domains = 1)
+    ?(obs = no_observatory) g =
   (match obs.span with
   | Some sp -> Ssmst_obs.Span.open_ sp (Ssmst_obs.Span.Epoch 0)
   | None -> ());
@@ -198,6 +200,7 @@ let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) ?(obs = no_obse
       graph = g;
       mode;
       daemon;
+      domains = max 1 domains;
       obs;
       marker;
       total_rounds = 0;

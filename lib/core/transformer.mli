@@ -55,6 +55,9 @@ type t = {
   graph : Graph.t;
   mode : Verifier.mode;
   daemon : Scheduler.t;
+  domains : int;
+      (** sync-round worker domains on the live verification network
+          (see {!Network.Make.create}); 1 = sequential *)
   obs : observatory;
   mutable marker : Marker.t;
   mutable total_rounds : int;
@@ -71,9 +74,17 @@ type t = {
 
 val construction_cost : Graph.t -> Marker.t -> int
 
-val create : ?mode:Verifier.mode -> ?daemon:Scheduler.t -> ?obs:observatory -> Graph.t -> t
+val create :
+  ?mode:Verifier.mode ->
+  ?daemon:Scheduler.t ->
+  ?domains:int ->
+  ?obs:observatory ->
+  Graph.t ->
+  t
 (** Start from an arbitrary configuration: the first act is a
-    reconstruction (Theorem 10.2: O(n) stabilization). *)
+    reconstruction (Theorem 10.2: O(n) stabilization).  [domains]
+    (default 1) fans each verification sync round across that many OCaml 5
+    domains — byte-identical states and metrics at every count. *)
 
 val monitor_results : t -> (string * Ssmst_obs.Monitor.verdict) list
 (** Latched across every epoch so far: the first violation per monitor

@@ -1,0 +1,20 @@
+(** The build-time selected multicore backend behind {!Domain_pool}.
+
+    Dune copies one of two implementations into [domain_backend.ml]:
+    [domain_backend_ocaml5.ml.in] (real [Domain.spawn]/[join]) when the
+    compiler is >= 5.0, or [domain_backend_seq.ml.in] (a plain sequential
+    loop) on 4.14, where the [Domain] module does not exist.  Client code
+    never branches on the OCaml version — it asks {!available} at run
+    time. *)
+
+val available : bool
+(** [true] iff this binary was built against a multicore runtime and
+    [parallel_run] actually spawns domains. *)
+
+val parallel_run : int -> (int -> unit) -> unit
+(** [parallel_run k f] runs [f 0 .. f (k-1)], each call exactly once, and
+    returns only after all of them have finished (a full barrier).  On the
+    multicore backend [f 1 .. f (k-1)] run on fresh domains while [f 0]
+    runs on the calling domain; sequentially it is a plain ascending loop.
+    If any call raises, the first exception in ascending-index order is
+    re-raised (with its backtrace) after every domain has been joined. *)

@@ -1,0 +1,31 @@
+(* Shared-memory domain pool (see the interface).  The parallel/sequential
+   split lives in Domain_backend, selected by dune at build time; this
+   module owns the sharding discipline and the List.map-compatible
+   wrapper. *)
+
+let available = Domain_backend.available
+let cpu_count = Pool.cpu_count
+
+let domains_from_env ?(var = "MSST_DOMAINS") ?default () =
+  Pool.jobs_from_env ~var ?default ()
+
+let slice ~domains n w = (w * n / domains, (w + 1) * n / domains)
+
+let run ~domains f =
+  if domains <= 1 then f 0 else Domain_backend.parallel_run domains f
+
+let map ?(domains = 1) f tasks =
+  let n = List.length tasks in
+  if domains <= 1 || n <= 1 || not available then List.map f tasks
+  else begin
+    let k = min domains n in
+    let tasks = Array.of_list tasks in
+    let out = Array.make n None in
+    run ~domains:k (fun w ->
+        let lo, hi = slice ~domains:k n w in
+        for i = lo to hi - 1 do
+          out.(i) <- Some (f tasks.(i))
+        done);
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) out)
+  end

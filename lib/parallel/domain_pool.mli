@@ -1,0 +1,50 @@
+(** A shared-memory domain pool for intra-instance parallelism.
+
+    Where {!Pool} forks worker {e processes} and marshals results back
+    (instance-granular, copy-everything), [Domain_pool] fans a computation
+    across OCaml 5 {e domains} in the same heap: workers read the shared
+    pre-round snapshot freely and write only into disjoint slices they
+    own, then the caller applies effects sequentially after the barrier.
+    On OCaml 4.14 the backend (see {!Domain_backend}) degrades to a
+    sequential loop and {!available} is [false]; callers keep working,
+    just without speedup.
+
+    The determinism discipline matches [Pool.map]: static contiguous
+    sharding, all observable effects applied in ascending index order on
+    the calling domain, so results are byte-identical at every domain
+    count. *)
+
+val available : bool
+(** [true] iff this binary can actually run domains in parallel
+    (multicore runtime).  When [false], every entry point below still
+    works — sequentially. *)
+
+val cpu_count : unit -> int
+(** Cores genuinely usable by this process: {!Pool.cpu_count} (affinity
+    mask and cgroup quota aware). *)
+
+val domains_from_env : ?var:string -> ?default:int -> unit -> int
+(** The domain count from the environment variable [var] (default
+    ["MSST_DOMAINS"]); [default] (default 1) when unset or unparsable.
+    Clamped to at least 1. *)
+
+val slice : domains:int -> int -> int -> int * int
+(** [slice ~domains n w] is worker [w]'s contiguous half-open range
+    [(lo, hi)] of [0..n-1]: [lo = w*n/domains], [hi = (w+1)*n/domains].
+    Slices tile [0..n-1] exactly, in ascending order, and differ in
+    length by at most one. *)
+
+val run : domains:int -> (int -> unit) -> unit
+(** [run ~domains f] runs [f 0 .. f (domains-1)] — in parallel when the
+    backend allows, worker 0 on the calling domain — and returns after
+    all have finished.  [domains <= 1] calls [f 0] directly (no spawn).
+    Exceptions re-raise in ascending worker order after the barrier.
+    [f] must confine its writes to worker-disjoint state. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f tasks] is [List.map f tasks] computed by [domains]
+    domains over contiguous shards ({!slice}).  Order and content of the
+    result are identical to [List.map] for every domain count; an
+    exception raised by [f] propagates (first task in ascending order
+    wins).  [domains <= 1], a short list, or a sequential backend all
+    take the plain [List.map] path. *)

@@ -17,6 +17,15 @@ let default_on_error e =
   Fmt.epr "[pool] worker %d lost shard %d (%s); retrying sequentially@." e.worker e.shard
     e.reason
 
+(* OCaml 5 permanently forbids [Unix.fork] once any domain has been
+   spawned in the process ("Unix.fork may not be called while other
+   domains were created").  [Domain_backend] latches this flag before its
+   first spawn; [map] then degrades to the sequential path — same bytes,
+   no workers — instead of raising mid-sweep. *)
+let forking_blocked = ref false
+let block_forking () = forking_blocked := true
+let fork_available () = not !forking_blocked
+
 (* ---------------- wire format ---------------- *)
 
 (* One frame per completed shard: an 8-byte little-endian payload length,
@@ -119,7 +128,7 @@ let crash_reason c =
 let map (type a b) ?(jobs = 1) ?(on_error = default_on_error) (f : a -> b) (tasks : a list)
     : b list =
   let n = List.length tasks in
-  if jobs <= 1 || n <= 1 then List.map f tasks
+  if jobs <= 1 || n <= 1 || !forking_blocked then List.map f tasks
   else begin
     let tasks = Array.of_list tasks in
     let workers = min jobs n in
@@ -232,6 +241,90 @@ let map (type a b) ?(jobs = 1) ?(on_error = default_on_error) (f : a -> b) (task
 
 (* ---------------- environment probes ---------------- *)
 
+(* [nproc] semantics, not hardware topology: a container pinned to two
+   cores or quota-limited to 1.5 CPUs reports a small number here even
+   when /proc/cpuinfo lists 64 processors.  The detection order is
+   affinity mask and cgroup quota (take the min of whichever parse),
+   then the legacy /proc/cpuinfo count, then getconf. *)
+
+let count_of_mask s =
+  (* popcount of a kernel hex cpumask, e.g. "ff" or "ff,ffffffff" *)
+  let count = ref 0 and seen = ref false in
+  match
+    String.iter
+      (fun c ->
+        let digit =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | ',' -> -1
+          | _ -> raise Exit
+        in
+        if digit >= 0 then begin
+          seen := true;
+          let d = ref digit in
+          while !d > 0 do
+            count := !count + (!d land 1);
+            d := !d lsr 1
+          done
+        end)
+      (String.trim s)
+  with
+  | () -> if !seen && !count > 0 then Some !count else None
+  | exception Exit -> None
+
+let count_of_quota s =
+  (* one cgroup line "<quota> <period>" in microseconds ("max <period>"
+     and v1's quota -1 both mean unlimited); ceil(quota/period) cores *)
+  match
+    String.split_on_char ' ' (String.trim s) |> List.filter (fun t -> t <> "")
+  with
+  | [ q; p ] -> (
+      match (int_of_string_opt q, int_of_string_opt p) with
+      | Some q, Some p when q > 0 && p > 0 -> Some (max 1 ((q + p - 1) / p))
+      | _ -> None)
+  | _ -> None
+
+let first_line path =
+  match open_in path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> match input_line ic with l -> Some l | exception End_of_file -> None)
+  | exception Sys_error _ -> None
+
+let affinity_cpus () =
+  match open_in "/proc/self/status" with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let key = "Cpus_allowed:" in
+          let kl = String.length key in
+          let res = ref None in
+          (try
+             while !res = None do
+               let line = input_line ic in
+               if String.length line > kl && String.sub line 0 kl = key then
+                 res := count_of_mask (String.sub line kl (String.length line - kl))
+             done
+           with End_of_file -> ());
+          !res)
+  | exception Sys_error _ -> None
+
+let quota_cpus () =
+  match first_line "/sys/fs/cgroup/cpu.max" with
+  | Some line -> count_of_quota line (* cgroup v2 *)
+  | None -> (
+      (* cgroup v1 keeps quota and period in separate files *)
+      match
+        ( first_line "/sys/fs/cgroup/cpu/cpu.cfs_quota_us",
+          first_line "/sys/fs/cgroup/cpu/cpu.cfs_period_us" )
+      with
+      | Some q, Some p -> count_of_quota (String.trim q ^ " " ^ String.trim p)
+      | _ -> None)
+
 let cpu_count () =
   let from_proc () =
     match open_in "/proc/cpuinfo" with
@@ -257,9 +350,12 @@ let cpu_count () =
         int_of_string_opt (String.trim line)
     | exception Unix.Unix_error _ -> None
   in
-  match from_proc () with
-  | Some k -> k
-  | None -> ( match from_getconf () with Some k when k > 0 -> k | _ -> 1)
+  match List.filter_map (fun f -> f ()) [ affinity_cpus; quota_cpus ] with
+  | k :: ks -> List.fold_left min k ks
+  | [] -> (
+      match from_proc () with
+      | Some k -> k
+      | None -> ( match from_getconf () with Some k when k > 0 -> k | _ -> 1))
 
 let jobs_from_env ?(var = "MSST_JOBS") ?(default = 1) () =
   match Sys.getenv_opt var with

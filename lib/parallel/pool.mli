@@ -39,10 +39,37 @@ val map : ?jobs:int -> ?on_error:(error -> unit) -> ('a -> 'b) -> 'a list -> 'b 
     [on_error] (default: a warning on stderr) observes every shard that
     crashed, died with the worker, or raised remotely. *)
 
+val block_forking : unit -> unit
+(** Latch: declare that [Unix.fork] is no longer safe in this process.
+    OCaml 5 forbids fork once any domain has been spawned, so the domain
+    backend calls this before its first [Domain.spawn]; every subsequent
+    {!map} runs its sequential path (same bytes, no workers).  There is no
+    unlatch — the runtime restriction is permanent. *)
+
+val fork_available : unit -> bool
+(** Whether {!map} may still fork workers ([true] until {!block_forking}
+    is called).  Tests that assert on worker-crash semantics skip when
+    this is [false]. *)
+
 val cpu_count : unit -> int
-(** Best-effort detected core count ([/proc/cpuinfo], then
-    [getconf _NPROCESSORS_ONLN]); at least 1.  Scaling gates use this to
-    decide whether a speedup target is physically meaningful. *)
+(** Cores genuinely usable by this process, [nproc]-style: the minimum of
+    the sched-affinity mask ([Cpus_allowed] in [/proc/self/status]) and
+    the cgroup CPU quota (v2 [cpu.max], v1 [cpu.cfs_quota_us]/[period]),
+    falling back to [/proc/cpuinfo] then [getconf _NPROCESSORS_ONLN] when
+    neither is readable; at least 1.  Containers pinned or quota-limited
+    below the hardware core count therefore no longer oversubscribe
+    workers.  Scaling gates use this to decide whether a speedup target
+    is physically meaningful. *)
+
+val count_of_mask : string -> int option
+(** Popcount of a kernel hex cpumask (["ff"], ["f,ffffffff"], …): the
+    affinity-parser core of {!cpu_count}, exposed pure for tests.  [None]
+    on malformed input or an empty mask. *)
+
+val count_of_quota : string -> int option
+(** Cores implied by one cgroup quota line ["<quota> <period>"] (µs):
+    [ceil(quota/period)], at least 1.  ["max <period>"] and v1's
+    [-1] quota mean unlimited — [None].  Exposed pure for tests. *)
 
 val jobs_from_env : ?var:string -> ?default:int -> unit -> int
 (** The job count from the environment variable [var] (default

@@ -1,4 +1,5 @@
 open Ssmst_graph
+open Ssmst_parallel
 
 (* Executing a protocol over a graph under a daemon, with round counting,
    alarm observation, fault injection, memory accounting and (in the
@@ -186,6 +187,10 @@ module Make (P : Protocol.S) = struct
     (* cached all-ports causes: steps almost always read every neighbour,
        so the common-case cause is shared and allocation-free *)
     full_cause : Trace.cause option array;
+    mutable domains : int;  (* sync-round worker count; 1 = sequential *)
+    (* deferred writes of the parallel sync round, indexed by node;
+       allocated on first use, cleared as writes are applied *)
+    mutable pending : P.state option array;
   }
 
   let mark_dirty t v =
@@ -202,7 +207,7 @@ module Make (P : Protocol.S) = struct
 
   let emit t e = match t.trace with None -> () | Some tr -> Trace.record tr e
 
-  let create ?trace graph =
+  let create ?trace ?(domains = 1) graph =
     let n = Graph.n graph in
     let states = Array.init n (P.init graph) in
     let alarm_flags = Array.map P.alarm states in
@@ -225,6 +230,8 @@ module Make (P : Protocol.S) = struct
         read_mark = Array.make n 0;
         read_stamp = 0;
         full_cause = Array.make n None;
+        domains = max 1 domains;
+        pending = [||];
       }
     in
     t.metrics.Metrics.peak_bits <- peak;
@@ -235,6 +242,8 @@ module Make (P : Protocol.S) = struct
   let states t = t.states
   let rounds t = t.rounds
   let metrics t = t.metrics
+  let domains t = t.domains
+  let set_domains t k = t.domains <- max 1 k
   let trace t = t.trace
   let attach_trace t tr = t.trace <- Some tr
   let detach_trace t = t.trace <- None
@@ -370,6 +379,58 @@ module Make (P : Protocol.S) = struct
 
   let peak_bits t = t.peak_bits
 
+  let pending_buffer t =
+    if Array.length t.pending <> Graph.n t.graph then
+      t.pending <- Array.make (Graph.n t.graph) None;
+    t.pending
+
+  (* The domain-parallel sync round, available only when nobody is
+     listening ([capturing t = false]): provenance capture mutates shared
+     per-node read marks and must see activations in order, so a run with
+     a trace or write hook attached stays on the sequential path (whose
+     event order the parallel path's effects are defined to match).
+     Workers read the shared pre-round snapshot and write only [pending]
+     slots for members they own; every effect funnels through
+     [apply_write] on the calling domain, ascending, after the barrier —
+     states and metrics are byte-identical at every domain count. *)
+  let parallel_sync_round t ~round ~members ~domains:k =
+    let m = Array.length members in
+    let pending = pending_buffer t in
+    let wasted = Array.make k 0 in
+    let snapshot = t.states in
+    Domain_pool.run ~domains:k (fun w ->
+        let lo, hi = Domain_pool.slice ~domains:k m w in
+        for i = lo to hi - 1 do
+          let v = members.(i) in
+          let read u =
+            if not (Graph.has_edge t.graph v u) then
+              invalid_arg "Network.step: reading a non-neighbour";
+            snapshot.(u)
+          in
+          let s' = P.step t.graph v snapshot.(v) read in
+          if P.equal s' snapshot.(v) then wasted.(w) <- wasted.(w) + 1
+          else pending.(v) <- Some s'
+        done);
+    t.metrics.Metrics.activations <- t.metrics.Metrics.activations + m;
+    Array.iter
+      (fun c -> t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + c)
+      wasted;
+    t.metrics.Metrics.skipped_activations <-
+      t.metrics.Metrics.skipped_activations + (Graph.n t.graph - m);
+    t.rounds <- round;
+    t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    for i = 0 to m - 1 do
+      let v = members.(i) in
+      match pending.(v) with
+      | None -> ()
+      | Some s' ->
+          pending.(v) <- None;
+          (* the cause tag is unobservable here — no trace, no write hook *)
+          apply_write t ~round ~cause:Trace.Init v s';
+          dirty_neighbourhood t v
+    done;
+    fire_round_hook t
+
   (* One synchronous round: the dirty nodes step on a snapshot (writes are
      deferred, so [t.states] *is* the snapshot); clean nodes provably
      wouldn't change and are skipped. *)
@@ -392,8 +453,12 @@ module Make (P : Protocol.S) = struct
        sorting here makes the per-round event order — and hence every
        trace/recorder JSONL artifact — stable across engine refactors. *)
     let members = List.sort compare members in
-    let snapshot = t.states in
     let capture = capturing t in
+    let k = if Domain_pool.available && not capture then t.domains else 1 in
+    if k > 1 && List.length members >= 2 * k then
+      parallel_sync_round t ~round ~members:(Array.of_list members) ~domains:k
+    else begin
+    let snapshot = t.states in
     let writes =
       List.fold_left
         (fun acc v ->
@@ -433,6 +498,7 @@ module Make (P : Protocol.S) = struct
         dirty_neighbourhood t v)
       (List.rev writes);
     fire_round_hook t
+    end
 
   (* Compact the frontier after an async round: within-round flag churn
      leaves stale entries behind; without compaction they would accumulate
@@ -574,6 +640,16 @@ end
    experiment. *)
 
 module Flat (P : Protocol.PACKED) = struct
+  (* Staging buffers for the domain-parallel sync round, allocated on the
+     first parallel round and reused for the network's lifetime.  Workers
+     write only the slices of [scratch]/[wrote]/[new_bits] indexed by
+     members they own, so the arrays are race-free by construction. *)
+  type par = {
+    scratch : int array;  (* n * words: deferred register images *)
+    wrote : Bytes.t;  (* '\000' no write | '\001' write | '\002' alarming *)
+    new_bits : int array;  (* P.bits of the deferred state, per node *)
+  }
+
   type t = {
     graph : Graph.t;
     words : int;  (* per-node register budget *)
@@ -586,6 +662,13 @@ module Flat (P : Protocol.PACKED) = struct
     mutable alarm_count : int;
     last_write : int array;
     metrics : Metrics.t;
+    mutable domains : int;  (* sync-round worker count; 1 = sequential *)
+    mutable par : par option;
+    (* called on every register write (after the register is updated), in
+       canonical ascending order within a round: the order-auditing probe
+       the write-order regression tests listen on.  Must not mutate the
+       network. *)
+    mutable write_hook : (round:int -> node:int -> unit) option;
   }
 
   let mark_dirty t v =
@@ -600,7 +683,7 @@ module Flat (P : Protocol.PACKED) = struct
 
   let state t v = P.unpack t.graph v t.regs (v * t.words)
 
-  let create graph =
+  let create ?(domains = 1) graph =
     let n = Graph.n graph in
     let words = P.words graph in
     let regs = Array.make (n * words) 0 in
@@ -628,6 +711,9 @@ module Flat (P : Protocol.PACKED) = struct
         alarm_count = !alarms;
         last_write = Array.make n 0;
         metrics = Metrics.create ();
+        domains = max 1 domains;
+        par = None;
+        write_hook = None;
       }
     in
     t.metrics.Metrics.peak_bits <- !peak;
@@ -638,6 +724,21 @@ module Flat (P : Protocol.PACKED) = struct
   let rounds t = t.rounds
   let metrics t = t.metrics
   let words t = t.words
+  let domains t = t.domains
+  let set_domains t k = t.domains <- max 1 k
+
+  (* A copy of the raw register file: the byte-identity witness the
+     parallel differential tests compare across domain counts. *)
+  let registers t = Array.copy t.regs
+
+  (* Write-order probe: [f] fires on every register write, immediately
+     after the register file is updated, in the engine's canonical order
+     (ascending node id within a sync round).  Read-only by the same
+     contract as {!Make}'s hooks.  Attaching it does NOT force the
+     sequential path — the parallel round fires it on the main domain in
+     the same canonical order. *)
+  let set_write_hook t f = t.write_hook <- Some f
+  let clear_write_hook t = t.write_hook <- None
 
   (* The measured per-node footprint of this engine: whole 64-bit words,
      against which {!Memory.within_log_budget} gates the modeled bound. *)
@@ -653,6 +754,7 @@ module Flat (P : Protocol.PACKED) = struct
     t.metrics.Metrics.register_writes <- t.metrics.Metrics.register_writes + 1;
     t.metrics.Metrics.last_write_round <- round;
     t.last_write.(v) <- round;
+    (match t.write_hook with None -> () | Some f -> f ~round ~node:v);
     let was = t.alarm_flags.(v) and now = P.alarm s' in
     if was <> now then begin
       t.alarm_flags.(v) <- now;
@@ -673,8 +775,103 @@ module Flat (P : Protocol.PACKED) = struct
   let last_write_round t v = t.last_write.(v)
   let peak_bits t = t.peak_bits
 
+  let par_buffers t =
+    match t.par with
+    | Some p -> p
+    | None ->
+        let n = Graph.n t.graph in
+        let p =
+          {
+            scratch = Array.make (n * t.words) 0;
+            wrote = Bytes.make n '\000';
+            new_bits = Array.make n 0;
+          }
+        in
+        t.par <- Some p;
+        p
+
+  (* The domain-parallel sync round.  Correctness rests on the same
+     deferred-write snapshot as the sequential path: until the barrier,
+     workers read only the pre-round register file and write only the
+     [v * words] scratch slices of members they own (contiguous slices of
+     the sorted member array are node-disjoint), so domains share nothing
+     writable.  Every observable effect — register blits, metrics, the
+     write hook, alarm flags, dirty marking — happens after the barrier on
+     the calling domain in ascending node id, which is exactly the
+     sequential order; traces, metrics and the register file are therefore
+     byte-identical at every domain count. *)
+  let parallel_sync_round t ~round ~members ~domains:k =
+    let m = Array.length members in
+    let p = par_buffers t in
+    let wasted = Array.make k 0 in
+    Domain_pool.run ~domains:k (fun w ->
+        let lo, hi = Domain_pool.slice ~domains:k m w in
+        for i = lo to hi - 1 do
+          let v = members.(i) in
+          let read u =
+            if not (Graph.has_edge t.graph v u) then
+              invalid_arg "Network.step: reading a non-neighbour";
+            state t u
+          in
+          let own = state t v in
+          let s' = P.step t.graph v own read in
+          if P.equal s' own then wasted.(w) <- wasted.(w) + 1
+          else begin
+            (* the codec may leave slice words untouched (keeping their
+               previous value): seed the scratch slice from the live
+               register so the apply blit is exact *)
+            Array.blit t.regs (v * t.words) p.scratch (v * t.words) t.words;
+            P.pack t.graph v s' p.scratch (v * t.words);
+            p.new_bits.(v) <- P.bits s';
+            Bytes.set p.wrote v (if P.alarm s' then '\002' else '\001')
+          end
+        done);
+    t.metrics.Metrics.activations <- t.metrics.Metrics.activations + m;
+    Array.iter
+      (fun c -> t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + c)
+      wasted;
+    t.metrics.Metrics.skipped_activations <-
+      t.metrics.Metrics.skipped_activations + (Graph.n t.graph - m);
+    t.rounds <- round;
+    t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    (* apply deferred writes in ascending node id: the canonical order,
+       shared with the sequential path and {!Make} *)
+    for i = 0 to m - 1 do
+      let v = members.(i) in
+      match Bytes.get p.wrote v with
+      | '\000' -> ()
+      | c ->
+          Bytes.set p.wrote v '\000';
+          Array.blit p.scratch (v * t.words) t.regs (v * t.words) t.words;
+          let b = p.new_bits.(v) in
+          if b > t.peak_bits then t.peak_bits <- b;
+          if b > t.metrics.Metrics.peak_bits then t.metrics.Metrics.peak_bits <- b;
+          t.metrics.Metrics.register_writes <- t.metrics.Metrics.register_writes + 1;
+          t.metrics.Metrics.last_write_round <- round;
+          t.last_write.(v) <- round;
+          (match t.write_hook with None -> () | Some f -> f ~round ~node:v);
+          let was = t.alarm_flags.(v) and now = c = '\002' in
+          if was <> now then begin
+            t.alarm_flags.(v) <- now;
+            if now then begin
+              t.alarm_count <- t.alarm_count + 1;
+              t.metrics.Metrics.alarms_raised <- t.metrics.Metrics.alarms_raised + 1
+            end
+            else begin
+              t.alarm_count <- t.alarm_count - 1;
+              t.metrics.Metrics.alarms_cleared <- t.metrics.Metrics.alarms_cleared + 1
+            end
+          end;
+          dirty_neighbourhood t v
+    done
+
   (* One synchronous round: dirty nodes step on the pre-round register
-     file (writes are deferred), clean nodes are provably no-ops. *)
+     file (writes are deferred), clean nodes are provably no-ops.  With
+     [domains > 1] on a multicore runtime, rounds whose frontier is worth
+     splitting take {!parallel_sync_round}; tiny frontiers (convergence
+     tails) stay sequential — the cutoff keeps per-round overhead off the
+     quiescent path while still exercising the parallel code on small test
+     graphs at [domains] 2–4. *)
   let sync_round t =
     let round = t.rounds + 1 in
     let members =
@@ -689,33 +886,38 @@ module Flat (P : Protocol.PACKED) = struct
     in
     t.frontier <- [];
     let members = List.sort compare members in
-    let writes =
-      List.fold_left
-        (fun acc v ->
-          t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
-          let read u =
-            if not (Graph.has_edge t.graph v u) then
-              invalid_arg "Network.step: reading a non-neighbour";
-            state t u
-          in
-          let own = state t v in
-          let s' = P.step t.graph v own read in
-          if P.equal s' own then begin
-            t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1;
-            acc
-          end
-          else (v, s') :: acc)
-        [] members
-    in
-    t.metrics.Metrics.skipped_activations <-
-      t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
-    t.rounds <- round;
-    t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
-    List.iter
-      (fun (v, s') ->
-        apply_write t ~round v s';
-        dirty_neighbourhood t v)
-      (List.rev writes)
+    let k = if Domain_pool.available then t.domains else 1 in
+    if k > 1 && List.length members >= 2 * k then
+      parallel_sync_round t ~round ~members:(Array.of_list members) ~domains:k
+    else begin
+      let writes =
+        List.fold_left
+          (fun acc v ->
+            t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
+            let read u =
+              if not (Graph.has_edge t.graph v u) then
+                invalid_arg "Network.step: reading a non-neighbour";
+              state t u
+            in
+            let own = state t v in
+            let s' = P.step t.graph v own read in
+            if P.equal s' own then begin
+              t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1;
+              acc
+            end
+            else (v, s') :: acc)
+          [] members
+      in
+      t.metrics.Metrics.skipped_activations <-
+        t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
+      t.rounds <- round;
+      t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+      List.iter
+        (fun (v, s') ->
+          apply_write t ~round v s';
+          dirty_neighbourhood t v)
+        (List.rev writes)
+    end
 
   let compact t =
     let live =

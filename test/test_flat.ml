@@ -149,6 +149,13 @@ module Diff3 (P : Protocol.PACKED) = struct
   module E = Network.Make (P)
   module F = Network.Flat (P)
 
+  (* CI's multicore job sets MSST_TEST_DOMAINS=2: every differential below
+     then drives the domain-parallel sync rounds of both the event-driven
+     and the flat engine against the sequential naive oracle.  Unset (the
+     default), everything runs sequentially as before. *)
+  let test_domains =
+    Ssmst_parallel.Domain_pool.domains_from_env ~var:"MSST_TEST_DOMAINS" ~default:1 ()
+
   let daemon_of kind seed =
     match kind with
     | 0 -> Scheduler.Sync
@@ -170,9 +177,12 @@ module Diff3 (P : Protocol.PACKED) = struct
           failwith (Fmt.str "%s: naive/flat states diverge at node %d" ctx v))
       (N.states naive)
 
-  let run_one ?g ?(n = 20) ?(rounds = 25) ?(faults = 2) ~seed ~kind () =
+  let run_one ?g ?(n = 20) ?(rounds = 25) ?(faults = 2) ?(domains = test_domains) ~seed ~kind
+      () =
     let g = match g with Some g -> g | None -> Gen.random_connected (Gen.rng seed) n in
-    let naive = N.create g and engine = E.create g and flat = F.create g in
+    let naive = N.create g
+    and engine = E.create ~domains g
+    and flat = F.create ~domains g in
     let dn = daemon_of kind (seed + 1)
     and de = daemon_of kind (seed + 1)
     and df = daemon_of kind (seed + 1) in
@@ -214,9 +224,11 @@ module Diff3 (P : Protocol.PACKED) = struct
         ~count:2 ();
     ]
 
-  let run_models ?g ?(n = 20) ?(rounds = 15) ~seed ~kind () =
+  let run_models ?g ?(n = 20) ?(rounds = 15) ?(domains = test_domains) ~seed ~kind () =
     let g = match g with Some g -> g | None -> Gen.random_connected (Gen.rng seed) n in
-    let naive = N.create g and engine = E.create g and flat = F.create g in
+    let naive = N.create g
+    and engine = E.create ~domains g
+    and flat = F.create ~domains g in
     let dn = daemon_of kind (seed + 1)
     and de = daemon_of kind (seed + 1)
     and df = daemon_of kind (seed + 1) in

@@ -34,4 +34,5 @@ let () =
       ("obs", Test_obs.suite);
       ("replay", Test_replay.suite);
       ("parallel", Test_parallel.suite);
+      ("domains", Test_domains.suite);
     ]
