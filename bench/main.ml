@@ -896,144 +896,11 @@ let fig_replay () =
         (List.map (fun (n, _, _, _, _, ov, _) -> Fmt.str "%s (%+.1f%%)" n (100. *. ov)) fs);
       exit 1
 
-(* A minimal JSON reader for the bench artifacts (the container has no
-   JSON library baked in, and the artifacts are all machine-written flat
-   objects).  Supports the full grammar minus escapes beyond quote,
-   backslash, slash, n, t and r — which is all the writers above emit. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let i = ref 0 in
-    let len = String.length s in
-    let peek () = if !i < len then Some s.[!i] else None in
-    let next () =
-      if !i >= len then raise (Bad "unexpected end");
-      let c = s.[!i] in
-      incr i;
-      c
-    in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-          incr i;
-          skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      skip_ws ();
-      if next () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !i))
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        match next () with
-        | '"' -> Buffer.contents b
-        | '\\' ->
-            (match next () with
-            | ('"' | '\\' | '/') as c -> Buffer.add_char b c
-            | 'n' -> Buffer.add_char b '\n'
-            | 't' -> Buffer.add_char b '\t'
-            | 'r' -> Buffer.add_char b '\r'
-            | c -> raise (Bad (Printf.sprintf "unsupported escape \\%c" c)));
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            go ()
-      in
-      go ()
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | Some '"' -> Str (parse_string ())
-      | Some '{' ->
-          incr i;
-          skip_ws ();
-          if peek () = Some '}' then (incr i; Obj [])
-          else
-            let rec members acc =
-              let key = parse_string () in
-              expect ':';
-              let v = parse_value () in
-              skip_ws ();
-              match next () with
-              | ',' ->
-                  skip_ws ();
-                  members ((key, v) :: acc)
-              | '}' -> Obj (List.rev ((key, v) :: acc))
-              | c -> raise (Bad (Printf.sprintf "bad object separator %c" c))
-            in
-            members []
-      | Some '[' ->
-          incr i;
-          skip_ws ();
-          if peek () = Some ']' then (incr i; Arr [])
-          else
-            let rec elems acc =
-              let v = parse_value () in
-              skip_ws ();
-              match next () with
-              | ',' -> elems (v :: acc)
-              | ']' -> Arr (List.rev (v :: acc))
-              | c -> raise (Bad (Printf.sprintf "bad array separator %c" c))
-            in
-            elems []
-      | Some ('t' | 'f' | 'n') ->
-          let lit w v =
-            if !i + String.length w <= len && String.sub s !i (String.length w) = w then begin
-              i := !i + String.length w;
-              v
-            end
-            else raise (Bad "bad literal")
-          in
-          if s.[!i] = 't' then lit "true" (Bool true)
-          else if s.[!i] = 'f' then lit "false" (Bool false)
-          else lit "null" Null
-      | Some _ ->
-          let j = ref !i in
-          while
-            !j < len
-            && match s.[!j] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-          do
-            incr j
-          done;
-          if !j = !i then raise (Bad (Printf.sprintf "unexpected char at %d" !i));
-          let v =
-            try float_of_string (String.sub s !i (!j - !i))
-            with Failure _ -> raise (Bad "bad number")
-          in
-          i := !j;
-          Num v
-      | None -> raise (Bad "empty input")
-    in
-    let v = parse_value () in
-    skip_ws ();
-    v
-
-  let rec to_string = function
-    | Null -> "null"
-    | Bool b -> string_of_bool b
-    | Num f -> if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f else Printf.sprintf "%g" f
-    | Str s -> "\"" ^ Ssmst_sim.Trace.json_escape s ^ "\""
-    | Arr l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
-    | Obj m -> "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ to_string v) m) ^ "}"
-
-  let mem key = function Obj m -> List.assoc_opt key m | _ -> None
-  let num_opt = function Some (Num f) -> Some f | _ -> None
-  let bool_opt = function Some (Bool b) -> Some b | _ -> None
-  let str_opt = function Some (Str s) -> Some s | _ -> None
-  let arr = function Some (Arr l) -> l | _ -> []
-end
+(* The minimal JSON reader for the bench artifacts lives in
+   [Ssmst_obs.Json_lite] since PR 9 (the trend report, the perf-trajectory
+   section and the unit tests share it); the alias keeps the call sites
+   below unchanged. *)
+module Json = Ssmst_obs.Json_lite
 
 (* Never let an un-gated run (too few cores for the scaling gate) clobber
    an artifact that records a gated one: REPORT would then chart the
@@ -1066,6 +933,196 @@ let write_artifact_guarded ~json_path ~gated contents =
       close_out oc;
       Fmt.pr "(machine-readable results written to %s)@." json_path;
       true
+
+(* ==================================================================== *)
+(* PROF — telemetry overhead gate + BENCH_PR9.json                       *)
+(* ==================================================================== *)
+
+(* The telemetry layer's cost contract, measured on the same ENGINE
+   workloads the flight recorder is gated on: installing a Telemetry
+   profiler on the global Probe hook must stay within 5% of the bare run
+   (median of interleaved reps, like REPLAY).  The disabled side needs no
+   separate gate: with no sink installed every probe is one ref read and
+   a branch — the bare baseline measured here IS the disabled path.
+   Alongside the overhead gate the run asserts out-of-band-ness cheaply:
+   the profiled run's metrics CSV row must equal the bare run's byte for
+   byte (the full seven-observable identity suite at -d 1/2/4 lives in
+   test_domains).  Results land in BENCH_PR9.json (or
+   $SSMST_BENCH_PR9_JSON); noisy runners can soften the budget via
+   SSMST_PROF_BUDGET (percent). *)
+let prof_budget () =
+  match Sys.getenv_opt "SSMST_PROF_BUDGET" with
+  | Some s -> ( try float_of_string s /. 100. with Failure _ -> 0.05)
+  | None -> 0.05
+
+let fig_prof () =
+  let budget = prof_budget () in
+  header
+    (Printf.sprintf "PROF — telemetry overhead: probes on the ENGINE workloads (budget: %.0f%%)"
+       (100. *. budget));
+  let time2 ~reps run =
+    ignore (run false ());
+    ignore (run true ());
+    let off = Array.make reps 0. and on_ = Array.make reps 0. in
+    for i = 0 to reps - 1 do
+      off.(i) <- fst (run false ());
+      on_.(i) <- fst (run true ())
+    done;
+    let median a =
+      Array.sort compare a;
+      a.(Array.length a / 2)
+    in
+    (median off, median on_)
+  in
+  Fmt.pr "%-38s %12s %12s %10s %9s@." "workload" "probes off" "probes on" "overhead" "identical";
+  line ();
+  let rows = ref [] in
+  let measure ?(gated = true) ~reps name run =
+    let t_off, t_on = time2 ~reps run in
+    let _, csv_off = run false () in
+    let _, csv_on = run true () in
+    let identical = csv_off = csv_on in
+    let ov = (t_on -. t_off) /. t_off in
+    Fmt.pr "%-38s %9.2f ms %9.2f ms %+9.1f%% %9s%s@." name (1000. *. t_off) (1000. *. t_on)
+      (100. *. ov)
+      (if identical then "yes" else "NO")
+      (if gated then "" else "  (info)");
+    rows := (name, t_off, t_on, ov, identical, gated) :: !rows
+  in
+  let profiled telemetry f =
+    if not telemetry then f ()
+    else begin
+      let tel = Ssmst_obs.Telemetry.create () in
+      Ssmst_obs.Telemetry.install tel;
+      Fun.protect ~finally:Ssmst_obs.Telemetry.uninstall f
+    end
+  in
+  (* W1/W2 mirror REPLAY's ENGINE workloads exactly (same graphs, seeds
+     and windows), so the bare wall_off_s columns of BENCH_PR4.json and
+     BENCH_PR9.json chart the same experiment across PRs — the
+     perf-trajectory section keys on that. *)
+  let g1 = Gen.random_connected (Gen.rng 8300) 256 in
+  let bfs_run telemetry () =
+    let module P = Ssmst_protocols.Ss_bfs.P in
+    let module Net = Network.Make (P) in
+    let net = Net.create g1 in
+    Net.run net Scheduler.Sync ~rounds:600;
+    Metrics.reset (Net.metrics net);
+    let dt =
+      profiled telemetry (fun () ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Net.inject_faults net (Gen.rng 8311) ~count:1);
+          Net.run net Scheduler.Sync ~rounds:4096;
+          Unix.gettimeofday () -. t0)
+    in
+    (dt, Metrics.to_csv_row (Net.metrics net))
+  in
+  measure ~reps:31 "ENGINE-W1 ss-bfs n=256, 1 fault" bfs_run;
+  let g2 = Gen.random_connected (Gen.rng 8400) 256 in
+  let m2 = Marker.run g2 in
+  let module VC = struct
+    let marker = m2
+    let mode = Verifier.Passive
+  end in
+  let module VP = Verifier.Make (VC) in
+  let settle2 = 2 * Verifier.window_bound m2.labels.(0) in
+  let verifier_run telemetry () =
+    let module Net = Network.Make (VP) in
+    let dt, m =
+      profiled telemetry (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let net = Net.create g2 in
+          Net.run net Scheduler.Sync ~rounds:settle2;
+          ignore (Net.inject_faults net (Gen.rng 8411) ~count:1);
+          ignore (Net.detection_time net Scheduler.Sync ~max_rounds:20000);
+          (Unix.gettimeofday () -. t0, Net.metrics net))
+    in
+    (dt, Metrics.to_csv_row m)
+  in
+  measure ~reps:5 "ENGINE-W2 verifier n=256, detection" verifier_run;
+  (* the flat engine's probe set (frontier/compute/apply), informational:
+     the packed election at n=4096 exercises flat.* and, under -d, the
+     per-worker spans — but its wall time breathes with the allocator *)
+  let g3 = Gen.random_connected (Gen.rng 8500) 4096 in
+  let flat_run telemetry () =
+    let module P = Ssmst_protocols.Ss_bfs.P in
+    let module F = Network.Flat (P) in
+    let net = F.create g3 in
+    let dt =
+      profiled telemetry (fun () ->
+          let t0 = Unix.gettimeofday () in
+          F.run net Scheduler.Sync ~rounds:200;
+          Unix.gettimeofday () -. t0)
+    in
+    (dt, Metrics.to_csv_row (F.metrics net))
+  in
+  measure ~gated:false ~reps:5 "flat ss-bfs n=4096, election" flat_run;
+  (* ---- per-phase breakdown at scale (informational) -------------------
+     The measured table EXPERIMENTS.md quotes: the DOMAINS workload (grid
+     n ~= 250k, 12 sync rounds, a fault burst every 4) with a live
+     profiler attached, at -d min(4, cores) — flat.frontier vs
+     flat.compute vs flat.apply is exactly the wrote-tag scan /
+     scratch-blit cost split ROADMAP asks about.  SSMST_PROF_BREAKDOWN_N
+     shrinks it for smoke runs; 0 skips it. *)
+  let breakdown_n =
+    match Sys.getenv_opt "SSMST_PROF_BREAKDOWN_N" with
+    | Some s -> ( try int_of_string s with _ -> 250_000)
+    | None -> 250_000
+  in
+  if breakdown_n > 0 then begin
+    let module P = Ssmst_protocols.Ss_bfs.P in
+    let module F = Network.Flat (P) in
+    let side = max 2 (int_of_float (sqrt (float_of_int breakdown_n))) in
+    let g = Gen.stream_grid ~seed:7700 side side in
+    let d = min 4 (Ssmst_parallel.Pool.cpu_count ()) in
+    let tel = Ssmst_obs.Telemetry.create () in
+    Ssmst_obs.Telemetry.install tel;
+    Fun.protect ~finally:Ssmst_obs.Telemetry.uninstall (fun () ->
+        let net = F.create ~domains:d g in
+        for r = 1 to 12 do
+          if r mod 4 = 1 then
+            ignore (F.inject net (Gen.rng (9000 + r)) (Fault.uniform ~count:64));
+          F.round net Scheduler.Sync
+        done);
+    Fmt.pr "@.per-phase breakdown — flat parallel round, grid n=%d, -d %d:@.@.%s@."
+      (Graph.n g) d
+      (Ssmst_obs.Telemetry.to_markdown tel)
+  end;
+  let rows = List.rev !rows in
+  let identity_ok = List.for_all (fun (_, _, _, _, id, _) -> id) rows in
+  let within =
+    List.for_all (fun (_, _, _, ov, _, gated) -> (not gated) || ov <= budget) rows
+  in
+  let json_path =
+    Option.value ~default:"BENCH_PR9.json" (Sys.getenv_opt "SSMST_BENCH_PR9_JSON")
+  in
+  let contents =
+    Printf.sprintf
+      {|{"pr":9,"budget_pct":%.1f,"gated":true,"identity_ok":%b,"workloads":[%s],"within_budget":%b}
+|}
+      (100. *. budget) identity_ok
+      (String.concat ","
+         (List.map
+            (fun (name, t_off, t_on, ov, identical, gated) ->
+              Printf.sprintf
+                {|{"name":"%s","wall_off_s":%.6f,"wall_on_s":%.6f,"overhead_pct":%.2f,"identical":%b,"gated":%b}|}
+                (Ssmst_sim.Trace.json_escape name)
+                t_off t_on (100. *. ov) identical gated)
+            rows))
+      within
+  in
+  ignore (write_artifact_guarded ~json_path ~gated:true contents);
+  if not identity_ok then begin
+    Fmt.pr "PROF: telemetry leaked into the metrics CSV — out-of-band contract broken.@.";
+    exit 1
+  end;
+  match List.filter (fun (_, _, _, ov, _, gated) -> gated && ov > budget) rows with
+  | [] -> Fmt.pr "telemetry overhead within the %.0f%% budget.@." (100. *. budget)
+  | fs ->
+      Fmt.pr "PROF overhead budget (%.0f%%) exceeded: %a@." (100. *. budget)
+        Fmt.(list ~sep:comma string)
+        (List.map (fun (n, _, _, ov, _, _) -> Fmt.str "%s (%+.1f%%)" n (100. *. ov)) fs);
+      exit 1
 
 (* ==================================================================== *)
 (* PAR — parallel campaign scaling + byte-determinism + BENCH_PR5.json   *)
@@ -1535,6 +1592,93 @@ let fig_report () =
           (Json.arr (Json.mem "workloads" j));
         out "")
       reports;
+    (* ---- perf trajectory ----------------------------------------------
+       Chart every numeric gate metric per (workload, metric) across the
+       per-PR artifacts, delta against the previous PR that recorded it,
+       and flag a regression when a *gated* metric worsens by more than
+       10%.  The wall_off_s series is the backbone: PROF's ENGINE
+       workloads replay the same graphs/seeds/windows PR after PR, so the
+       telemetry-off wall time is one experiment measured repeatedly. *)
+    let worse_if_up =
+      [
+        "overhead_pct"; "wall_s"; "wall_on_s"; "wall_off_s"; "run_s"; "build_s";
+        "bytes_per_node"; "rss_delta_mb";
+      ]
+    and worse_if_down = [ "rounds_per_sec"; "speedup"; "events_per_sec" ] in
+    let series = Hashtbl.create 32 and keys_rev = ref [] in
+    let add key pt =
+      match Hashtbl.find_opt series key with
+      | None ->
+          keys_rev := key :: !keys_rev;
+          Hashtbl.add series key [ pt ]
+      | Some pts -> Hashtbl.replace series key (pt :: pts)
+    in
+    List.iter
+      (fun (_file, j) ->
+        match Json.num_opt (Json.mem "pr" j) with
+        | None -> ()
+        | Some pr ->
+            let art_gated =
+              Option.value ~default:true (Json.bool_opt (Json.mem "gated" j))
+            in
+            let cores = Option.value ~default:1. (Json.num_opt (Json.mem "cores" j)) in
+            List.iter
+              (fun w ->
+                let name, _ = workload_headline ~gated:art_gated ~cores w in
+                let w_gated =
+                  Option.value ~default:art_gated (Json.bool_opt (Json.mem "gated" w))
+                in
+                List.iter
+                  (fun key ->
+                    match Json.num_opt (Json.mem key w) with
+                    | Some v -> add (name, key) (pr, v, w_gated)
+                    | None -> ())
+                  (worse_if_up @ worse_if_down))
+              (Json.arr (Json.mem "workloads" j)))
+      reports;
+    let traj_rows =
+      List.rev_map
+        (fun ((wname, metric) as key) ->
+          let pts =
+            List.sort
+              (fun (a, _, _) (b, _, _) -> compare (a : float) b)
+              (List.rev (Hashtbl.find series key))
+          in
+          let chart =
+            String.concat " -> "
+              (List.map (fun (pr, v, _) -> Printf.sprintf "%.0f:%.4g" pr v) pts)
+          in
+          let delta, regression =
+            match List.rev pts with
+            | (_, last, g_last) :: (_, prev, _) :: _ when prev <> 0. ->
+                let pct = 100. *. (last -. prev) /. Float.abs prev in
+                let worsened = if List.mem metric worse_if_down then -.pct else pct in
+                (Some pct, g_last && worsened > 10.)
+            | _ -> (None, false)
+          in
+          (wname, metric, pts, chart, delta, regression))
+        !keys_rev
+    in
+    out "## Perf trajectory";
+    out "";
+    if traj_rows = [] then out "(no per-PR numeric series yet)"
+    else begin
+      out "| workload | metric | trajectory (pr:value) | delta vs prev | flag |";
+      out "|---|---|---|---|---|";
+      List.iter
+        (fun (wname, metric, _, chart, delta, regression) ->
+          out "| %s | %s | %s | %s | %s |" wname metric chart
+            (match delta with Some d -> Printf.sprintf "%+.1f%%" d | None -> "-")
+            (if regression then "REGRESSION"
+             else match delta with Some _ -> "ok" | None -> "-"))
+        traj_rows;
+      match List.filter (fun (_, _, _, _, _, r) -> r) traj_rows with
+      | [] -> ()
+      | rs ->
+          out "";
+          out "%d gated metric(s) regressed > 10%% vs the previous PR." (List.length rs)
+    end;
+    out "";
     let md = Buffer.contents b in
     print_string md;
     let write path contents =
@@ -1548,6 +1692,26 @@ let fig_report () =
          (Json.Obj
             [
               ("merged_from", Json.Arr (List.map (fun (f, _) -> Json.Str f) reports));
+              ( "trajectory",
+                Json.Arr
+                  (List.map
+                     (fun (wname, metric, pts, _, delta, regression) ->
+                       Json.Obj
+                         [
+                           ("workload", Json.Str wname);
+                           ("metric", Json.Str metric);
+                           ( "points",
+                             Json.Arr
+                               (List.map
+                                  (fun (pr, v, _) ->
+                                    Json.Obj
+                                      [ ("pr", Json.Num pr); ("value", Json.Num v) ])
+                                  pts) );
+                           ( "delta_pct",
+                             match delta with Some d -> Json.Num d | None -> Json.Null );
+                           ("regression", Json.Bool regression);
+                         ])
+                     traj_rows) );
               ("reports", Json.Arr (List.map snd reports));
             ])
        ^ "\n");
@@ -1631,6 +1795,7 @@ let all_experiments =
     ("PAR", fig_par);
     ("SCALE", fig_scale);
     ("DOMAINS", fig_domains);
+    ("PROF", fig_prof);
     ("REPORT", fig_report);
     ("BENCH", bechamel_suite);
   ]

@@ -6,6 +6,7 @@
      stabilize  run the transformer scenario (construct/verify/repair loop)
      trace      fault-injection run emitting a JSONL event trace
      campaign   sweep fault models x sizes x fault counts; measure detection
+     profile    run a scenario under the wall-clock/allocation profiler
      labels     print the Roots/EndP/Parents/Or-EndP strings of an instance
      compare    compare construction algorithms on one instance *)
 
@@ -340,6 +341,67 @@ let report scenario family n seed faults async_ epochs trials max_rounds md_out 
     Fmt.epr "msst report: invariant monitor violation (see the report)@.";
     1
   end
+
+(* ---------------- profile ---------------- *)
+
+(* The wall-clock twin of [report]: run the same scenario with a
+   Telemetry profiler installed on the global probe hook, then render the
+   per-phase table (md/csv) or the full report JSON with the telemetry
+   block folded in.  Telemetry is out-of-band, so the scenario's
+   registers, metrics and monitor verdicts are exactly [report]'s. *)
+let profile scenario family n seed faults async_ epochs trials max_rounds domains fmt chrome
+    fake =
+  if not (List.mem scenario Observatory.scenario_names) then begin
+    Fmt.epr "msst profile: unknown scenario %s (known: %a)@." scenario
+      Fmt.(list ~sep:comma string)
+      Observatory.scenario_names;
+    exit 2
+  end;
+  if not (List.mem family Verifier_campaign.family_names) then begin
+    Fmt.epr "msst profile: unknown family %s (known: %a)@." family
+      Fmt.(list ~sep:comma string)
+      Verifier_campaign.family_names;
+    exit 2
+  end;
+  let d = resolve_domains domains in
+  let tel = if fake then Ssmst_obs.Telemetry.fake () else Ssmst_obs.Telemetry.create () in
+  let p =
+    {
+      Observatory.default_params with
+      Observatory.family;
+      n;
+      seed;
+      faults;
+      async = async_;
+      epochs;
+      trials;
+      max_rounds;
+      domains = d;
+    }
+  in
+  Ssmst_obs.Telemetry.install tel;
+  let r =
+    Fun.protect ~finally:Ssmst_obs.Telemetry.uninstall (fun () -> Observatory.run ~scenario p)
+  in
+  Ssmst_obs.Report.set_telemetry r (Ssmst_obs.Telemetry.to_json tel);
+  (match chrome with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Ssmst_obs.Telemetry.to_chrome_trace tel);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.epr "chrome trace written to %s (load in chrome://tracing or Perfetto)@." path);
+  (match fmt with
+  | Md ->
+      Fmt.pr "# msst profile — %s (%s, n = %d, -d %d%s)@.@." scenario family n d
+        (if fake then ", fake clock" else "");
+      print_string (Ssmst_obs.Telemetry.to_markdown tel)
+  | Csv -> print_string (Ssmst_obs.Telemetry.to_csv tel)
+  | Json ->
+      print_string (Ssmst_obs.Report.to_json r);
+      print_newline ());
+  0
 
 (* ---------------- explain ---------------- *)
 
@@ -883,6 +945,36 @@ let report_cmd =
       $ epochs_arg $ trials_arg $ max_rounds_arg $ report_md_arg $ report_json_arg
       $ format_arg Md)
 
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:"Also write a chrome://tracing-loadable JSON trace (one track per worker domain) \
+              to $(docv).")
+
+let fake_clock_arg =
+  Arg.(
+    value & flag
+    & info [ "fake-clock" ]
+        ~doc:"Replace the wall clock with a deterministic 1 ms-per-reading counter and zero \
+              the GC sampler, making the profile output byte-reproducible (single-domain \
+              runs only; used by the determinism tests).")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a scenario (verify, stabilize, campaign, construct) with the wall-clock + \
+          allocation profiler attached and print the per-phase table — time, %, minor/major \
+          words, calls — plus optionally a Chrome-trace JSON.  Telemetry is strictly \
+          out-of-band: registers, metrics and monitors are byte-identical to an unprofiled \
+          run at every -d.")
+    Term.(
+      const profile $ scenario_arg $ report_family_arg $ n_arg $ seed_arg $ faults_arg
+      $ async_arg $ epochs_arg $ trials_arg $ max_rounds_arg $ domains_arg $ format_arg Md
+      $ chrome_arg $ fake_clock_arg)
+
 let labels_cmd =
   Cmd.v
     (Cmd.info "labels" ~doc:"Print the Section 5 label strings of an instance.")
@@ -903,4 +995,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ construct_cmd; verify_cmd; stabilize_cmd; trace_cmd; campaign_cmd; report_cmd;
-            explain_cmd; replay_cmd; labels_cmd; compare_cmdliner ]))
+            profile_cmd; explain_cmd; replay_cmd; labels_cmd; compare_cmdliner ]))

@@ -20,6 +20,7 @@ type params = {
   epochs : int;  (* stabilize: fault-injection epochs *)
   trials : int;  (* campaign: seeds per fault model *)
   max_rounds : int;  (* detection budget *)
+  domains : int;  (* sync-round worker domains (verify/stabilize/campaign) *)
   compact_c : int;
   distance_c : int;
 }
@@ -34,6 +35,7 @@ let default_params =
     epochs = 3;
     trials = 3;
     max_rounds = 20000;
+    domains = 1;
     compact_c = Monitor.default_compact_c;
     distance_c = Monitor.default_distance_c;
   }
@@ -64,7 +66,10 @@ let report name p extra =
 let construct p =
   let g = graph_of p in
   let span = Span.create () in
-  let m = Span.with_ span Span.Construct (fun () -> Marker.run ~span g) in
+  let m =
+    Ssmst_parallel.Probe.with_ "construct.marker" (fun () ->
+        Span.with_ span Span.Construct (fun () -> Marker.run ~span g))
+  in
   let label_hist = Hist.create () in
   Array.iter (fun l -> Hist.record label_hist (Marker.label_bits l)) m.Marker.labels;
   let depth_hist = Hist.create () in
@@ -120,7 +125,7 @@ let verify p =
   let module P = Verifier.Make (C) in
   let module Net = Network.Make (P) in
   let tr = Trace.create () in
-  let net = Net.create g in
+  let net = Net.create ~domains:p.domains g in
   let span = Span.create ~trace:tr ~sample:(Span.sampler_of_metrics (Net.metrics net)) () in
   let view =
     {
@@ -199,7 +204,7 @@ let stabilize p =
   in
   let mode = if p.async then Verifier.Handshake else Verifier.Passive in
   let daemon = if p.async then Scheduler.Async_random (Gen.rng (p.seed + 1)) else Scheduler.Sync in
-  let t = Transformer.create ~mode ~daemon ~obs g in
+  let t = Transformer.create ~mode ~daemon ~domains:p.domains ~obs g in
   let r =
     report "stabilize" p
       [ ("faults per epoch", string_of_int p.faults); ("epochs", string_of_int p.epochs) ]
@@ -251,7 +256,9 @@ let stabilize p =
    injection seeds, one [Campaign_trial] span each; outcomes land in the
    detection-time/-distance histograms. *)
 let campaign p =
-  let inst = Verifier_campaign.prepare ~family:p.family ~n:p.n ~seed:p.seed in
+  let inst =
+    Verifier_campaign.prepare ~domains:p.domains ~family:p.family ~n:p.n ~seed:p.seed ()
+  in
   let span = Span.create () in
   let dt_h = Hist.create () and dd_h = Hist.create () and rounds_h = Hist.create () in
   let detected = ref 0 and total = ref 0 in
@@ -267,7 +274,7 @@ let campaign p =
                 ~count:p.faults
             in
             let o =
-              Verifier_campaign.run_trial inst ~model
+              Verifier_campaign.run_trial ~domains:p.domains inst ~model
                 ~inject_seed:(p.seed + (7919 * i) + k)
                 ~max_rounds:p.max_rounds
             in

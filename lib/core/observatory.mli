@@ -15,6 +15,9 @@ type params = {
   epochs : int;  (** stabilize: fault-injection epochs *)
   trials : int;  (** campaign: seeds per fault model *)
   max_rounds : int;  (** detection budget *)
+  domains : int;
+      (** sync-round worker domains for verify/stabilize/campaign; results
+          are byte-identical at every value, only telemetry sees it *)
   compact_c : int;
   distance_c : int;
 }

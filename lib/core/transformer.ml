@@ -97,6 +97,9 @@ let span_charge (t : t) ?rounds ?peak_bits () =
    the marker charge their own timetable rounds; the election's O(n) and
    the label high-water are settled here. *)
 let construct_marker_with span (g : Graph.t) =
+  (* the wall-clock twin of the [Construct] span: charged whether or not
+     the logical observatory is attached *)
+  Ssmst_parallel.Probe.with_ "transformer.construct" @@ fun () ->
   match span with
   | None -> Marker.run g
   | Some sp ->
@@ -223,6 +226,9 @@ let create ?(mode = Verifier.Passive) ?(daemon = Scheduler.Sync) ?(domains = 1)
   t
 
 let reconstruct (t : t) =
+  (* one [transformer.epoch] telemetry frame per construct-verify-repair
+     cycle, the wall-clock twin of the [Epoch] span below *)
+  Ssmst_parallel.Probe.with_ "transformer.epoch" @@ fun () ->
   (match t.monitor with
   | Some mon -> Ssmst_obs.Monitor.note_reset mon ~round:t.total_rounds
   | None -> ());
@@ -241,6 +247,7 @@ let reconstruct (t : t) =
 
 (* Run the verification regime for [rounds]; on detection, reconstruct. *)
 let advance (t : t) ~rounds =
+  Ssmst_parallel.Probe.with_ "transformer.advance" @@ fun () ->
   match t.run_verify rounds with
   | `Quiet ->
       t.total_rounds <- t.total_rounds + rounds;

@@ -36,7 +36,7 @@ type instance = {
 let graph t = t.graph
 let root t = Tree.root t.marker.Marker.tree
 
-let prepare ~family ~n ~seed =
+let prepare ?(domains = 1) ~family ~n ~seed () =
   let g = graph_of_family family (Gen.rng seed) n in
   let m = Marker.run g in
   let module C = struct
@@ -45,18 +45,21 @@ let prepare ~family ~n ~seed =
   end in
   let module P = Verifier.Make (C) in
   let module Net = Network.Make (P) in
-  let net = Net.create g in
+  let net = Net.create ~domains g in
   Net.run net Scheduler.Sync ~rounds:(8 * Verifier.window_bound m.Marker.labels.(0));
   { graph = g; marker = m; settled = Array.copy (Net.states net) }
 
-let run_trial t ~model ~inject_seed ~max_rounds =
+let run_trial ?(domains = 1) t ~model ~inject_seed ~max_rounds =
+  (* one [campaign.trial] telemetry frame per trial, so [msst profile
+     campaign] can apportion wall time between settling and the trials *)
+  Ssmst_parallel.Probe.with_ "campaign.trial" @@ fun () ->
   let module C = struct
     let marker = t.marker
     let mode = Verifier.Passive
   end in
   let module P = Verifier.Make (C) in
   let module Net = Network.Make (P) in
-  let net = Net.create t.graph in
+  let net = Net.create ~domains t.graph in
   (* metrics/trace-neutral rewind: [set_state] would funnel n writes
      through the engine's write path, inflating [register_writes],
      stamping [last_write] on every node and emitting spurious Init
@@ -77,7 +80,7 @@ let run_trial t ~model ~inject_seed ~max_rounds =
    parallelizes with its trials, and the rows come back as marshallable
    plain data. *)
 let run_instance ~fault_counts ~models ~max_rounds (family, requested_n, instance_seed) =
-  let inst = prepare ~family ~n:requested_n ~seed:instance_seed in
+  let inst = prepare ~family ~n:requested_n ~seed:instance_seed () in
   (* grid/hypertree round the requested size: record what was actually
      built, so downstream c·f·⌈log n⌉ analysis reads the right n *)
   let actual_n = Graph.n inst.graph in

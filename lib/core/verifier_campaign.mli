@@ -23,16 +23,27 @@ type instance
     the O(window_bound) settling cost is paid once per instance, not once
     per (f, model) grid point. *)
 
-val prepare : family:string -> n:int -> seed:int -> instance
+val prepare : ?domains:int -> family:string -> n:int -> seed:int -> unit -> instance
+(** [domains] (default 1) fans the settling run's sync rounds across
+    worker domains; the settled snapshot is byte-identical either way. *)
+
 val graph : instance -> Graph.t
 val root : instance -> int
 (** The MST root: the anchor of the ["near-root"] placement. *)
 
-val run_trial : instance -> model:Fault.t -> inject_seed:int -> max_rounds:int -> Campaign.outcome
+val run_trial :
+  ?domains:int ->
+  instance ->
+  model:Fault.t ->
+  inject_seed:int ->
+  max_rounds:int ->
+  Campaign.outcome
 (** One trial on a fresh network rewound to the instance snapshot via the
     engine's metrics/trace-neutral [restore] (so [register_writes] counts
     protocol work only — 0 until the injection); deterministic in the
-    instance and [inject_seed]. *)
+    instance and [inject_seed] at every [domains].  Each trial runs under
+    a ["campaign.trial"] telemetry frame when a {!Ssmst_parallel.Probe}
+    sink is installed. *)
 
 val sweep :
   ?jobs:int ->

@@ -17,16 +17,27 @@ type t = {
   mutable spans : Span.node option;
   mutable monitors : (string * Monitor.verdict) list;
   mutable notes : string list;  (* newest last *)
+  mutable telemetry : string option;  (* Telemetry.to_json block, pre-rendered *)
 }
 
 let create ~title ~scenario () =
-  { title; scenario; metrics = []; hists = []; spans = None; monitors = []; notes = [] }
+  {
+    title;
+    scenario;
+    metrics = [];
+    hists = [];
+    spans = None;
+    monitors = [];
+    notes = [];
+    telemetry = None;
+  }
 
 let add_metrics t label m = t.metrics <- t.metrics @ [ (label, m) ]
 let add_hist t label h = t.hists <- t.hists @ [ (label, h) ]
 let set_spans t root = t.spans <- Some root
 let set_monitors t results = t.monitors <- results
 let add_note t s = t.notes <- t.notes @ [ s ]
+let set_telemetry t json = t.telemetry <- Some json
 
 let all_monitors_ok t =
   List.for_all (fun (_, v) -> Monitor.verdict_ok v) t.monitors
@@ -187,7 +198,8 @@ let to_json t =
   in
   let notes = String.concat "," (List.map str t.notes) in
   Fmt.str
-    {|{"title":%s,"scenario":{%s},"monitors":{%s},"monitors_ok":%b,"metrics":[%s],"histograms":[%s],"spans":%s,"notes":[%s]}|}
+    {|{"title":%s,"scenario":{%s},"monitors":{%s},"monitors_ok":%b,"metrics":[%s],"histograms":[%s],"spans":%s,"notes":[%s],"telemetry":%s}|}
     (str t.title) scenario monitors (all_monitors_ok t) metrics hists
     (match t.spans with None -> "null" | Some root -> Span.node_to_json root)
     notes
+    (match t.telemetry with None -> "null" | Some j -> j)

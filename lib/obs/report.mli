@@ -21,6 +21,12 @@ val set_spans : t -> Span.node -> unit
 val set_monitors : t -> (string * Monitor.verdict) list -> unit
 val add_note : t -> string -> unit
 
+val set_telemetry : t -> string -> unit
+(** Attach a pre-rendered {!Telemetry.to_json} block; it appears verbatim
+    under the ["telemetry"] key of {!to_json} ([null] when absent) and is
+    deliberately absent from the markdown/CSV renderings — wall-clock
+    telemetry is machine food, the human table is [msst profile]'s. *)
+
 val all_monitors_ok : t -> bool
 (** True when no monitor verdict is a violation (vacuously on none). *)
 

@@ -1,0 +1,228 @@
+(* Wall-clock + allocation profiler (see the interface).  One Hashtbl of
+   per-phase accumulators keyed by name (insertion order kept separately
+   for stable rendering), a frame stack for nesting, and a bounded event
+   buffer for the Chrome trace.  Everything here is main-domain state;
+   the worker-side protocol is "stamp with the clock, hand the floats
+   back" (see Domain_pool.run). *)
+
+(* All-float on purpose: a flat (unboxed-field) record keeps the
+   per-sample allocation to one small block on the hot probe path. *)
+type gc_sample = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : float;
+  major_collections : float;
+}
+
+type phase = {
+  name : string;
+  mutable calls : int;
+  mutable wall_s : float;
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable minor_collections : float;
+  mutable major_collections : float;
+}
+
+type frame = { fname : string; t0 : float; g0 : gc_sample }
+type event = { ename : string; tid : int; ts : float; dur : float }
+
+type t = {
+  clock : unit -> float;
+  gc : unit -> gc_sample;
+  tbl : (string, phase) Hashtbl.t;
+  mutable order_rev : string list;
+  mutable stack : frame list;
+  mutable events_rev : event list;
+  mutable n_events : int;
+  max_events : int;
+  mutable dropped : int;
+  t_start : float;
+  mutable t_last : float;
+}
+
+(* The live sampler has a cost budget of its own: [Gc.quick_stat] is
+   ~1.2 us a call on OCaml 5 — six of those per engine round is exactly
+   the overhead the PROF gate forbids.  Words are read from the exact
+   ~30 ns counters ([Gc.minor_words], [Gc.counters]); collection counts
+   exist only in [quick_stat], so they are served from a cache that is
+   refreshed once at least half a minor heap has been allocated since the
+   last refresh — before that point no un-forced minor collection can
+   have happened, so the cached counts are still exact.  (A [quick_stat]
+   caveat survives on OCaml 5: its own minor_words field lags between
+   collections, which is why the counters are read separately.) *)
+let make_live_gc () =
+  let heap_half = float_of_int (Gc.get ()).Gc.minor_heap_size /. 2. in
+  let cached = ref (Gc.quick_stat ()) in
+  let cached_at = ref (Gc.minor_words ()) in
+  fun () ->
+    let mw = Gc.minor_words () in
+    if mw -. !cached_at >= heap_half then begin
+      cached := Gc.quick_stat ();
+      cached_at := mw
+    end;
+    let _, _, major = Gc.counters () in
+    {
+      minor_words = mw;
+      major_words = major;
+      minor_collections = float_of_int !cached.Gc.minor_collections;
+      major_collections = float_of_int !cached.Gc.major_collections;
+    }
+
+let zero_gc =
+  { minor_words = 0.; major_words = 0.; minor_collections = 0.; major_collections = 0. }
+
+let create ?(clock = Unix.gettimeofday) ?gc ?(max_events = 200_000) () =
+  let gc = match gc with Some g -> g | None -> make_live_gc () in
+  let t0 = clock () in
+  {
+    clock;
+    gc;
+    tbl = Hashtbl.create 32;
+    order_rev = [];
+    stack = [];
+    events_rev = [];
+    n_events = 0;
+    max_events;
+    dropped = 0;
+    t_start = t0;
+    t_last = t0;
+  }
+
+let fake () =
+  (* 1 ms per reading: big enough that %.6f-second renderings are exact,
+     monotone, and independent of the machine.  Single-domain only — the
+     counter is unsynchronised on purpose (workers never tick it in the
+     -d 1 runs the determinism tests pin). *)
+  let ticks = ref 0 in
+  let clock () =
+    incr ticks;
+    float_of_int !ticks *. 1e-3
+  in
+  create ~clock ~gc:(fun () -> zero_gc) ()
+
+let touch t now = if now > t.t_last then t.t_last <- now
+
+let phase_of t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          name;
+          calls = 0;
+          wall_s = 0.;
+          minor_words = 0.;
+          major_words = 0.;
+          minor_collections = 0.;
+          major_collections = 0.;
+        }
+      in
+      Hashtbl.add t.tbl name p;
+      t.order_rev <- name :: t.order_rev;
+      p
+
+let record_event t ename tid ts dur =
+  if t.n_events >= t.max_events then t.dropped <- t.dropped + 1
+  else begin
+    t.events_rev <- { ename; tid; ts; dur } :: t.events_rev;
+    t.n_events <- t.n_events + 1
+  end
+
+let enter t name = t.stack <- { fname = name; t0 = t.clock (); g0 = t.gc () } :: t.stack
+
+let leave t _name =
+  match t.stack with
+  | [] -> ()
+  | f :: rest ->
+      t.stack <- rest;
+      let now = t.clock () and g1 = t.gc () in
+      touch t now;
+      let p = phase_of t f.fname in
+      p.calls <- p.calls + 1;
+      p.wall_s <- p.wall_s +. (now -. f.t0);
+      p.minor_words <- p.minor_words +. (g1.minor_words -. f.g0.minor_words);
+      p.major_words <- p.major_words +. (g1.major_words -. f.g0.major_words);
+      p.minor_collections <- p.minor_collections +. (g1.minor_collections -. f.g0.minor_collections);
+      p.major_collections <- p.major_collections +. (g1.major_collections -. f.g0.major_collections);
+      record_event t f.fname 0 (f.t0 -. t.t_start) (now -. f.t0)
+
+let span t ~tid name t0 t1 =
+  touch t t1;
+  let p = phase_of t (Printf.sprintf "%s.d%d" name tid) in
+  p.calls <- p.calls + 1;
+  p.wall_s <- p.wall_s +. (t1 -. t0);
+  record_event t name tid (t0 -. t.t_start) (t1 -. t0)
+
+let sink t =
+  {
+    Ssmst_parallel.Probe.now = t.clock;
+    enter = enter t;
+    leave = leave t;
+    span = (fun ~tid name t0 t1 -> span t ~tid name t0 t1);
+  }
+
+let install t = Ssmst_parallel.Probe.install (sink t)
+let uninstall () = Ssmst_parallel.Probe.uninstall ()
+
+let phases t = List.rev_map (Hashtbl.find t.tbl) t.order_rev
+let total_wall_s t = t.t_last -. t.t_start
+let dropped_events t = t.dropped
+
+let pct t p =
+  let total = total_wall_s t in
+  if total <= 0. then 0. else 100. *. p.wall_s /. total
+
+(* ---------------- renderings ---------------- *)
+
+let to_markdown t =
+  let b = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  out "| phase | calls | wall s | %% | minor words | major words | minor gcs | major gcs |";
+  out "|---|---|---|---|---|---|---|---|";
+  List.iter
+    (fun p ->
+      out "| %s | %d | %.6f | %.1f | %.0f | %.0f | %.0f | %.0f |" p.name p.calls p.wall_s (pct t p)
+        p.minor_words p.major_words p.minor_collections p.major_collections)
+    (phases t);
+  out "";
+  out "total wall: %.6f s; dropped trace events: %d" (total_wall_s t) t.dropped;
+  Buffer.contents b
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "phase,calls,wall_s,pct,minor_words,major_words,minor_collections,major_collections\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%.6f,%.1f,%.0f,%.0f,%.0f,%.0f\n" p.name p.calls p.wall_s (pct t p)
+           p.minor_words p.major_words p.minor_collections p.major_collections))
+    (phases t);
+  Buffer.contents b
+
+let to_json t =
+  let phase_json p =
+    Printf.sprintf
+      {|{"name":"%s","calls":%d,"wall_s":%.6f,"pct":%.1f,"minor_words":%.0f,"major_words":%.0f,"minor_collections":%.0f,"major_collections":%.0f}|}
+      (Ssmst_sim.Trace.json_escape p.name)
+      p.calls p.wall_s (pct t p) p.minor_words p.major_words p.minor_collections
+      p.major_collections
+  in
+  Printf.sprintf {|{"total_wall_s":%.6f,"dropped_events":%d,"phases":[%s]}|} (total_wall_s t)
+    t.dropped
+    (String.concat "," (List.map phase_json (phases t)))
+
+let to_chrome_trace t =
+  (* complete events ("ph":"X"), microsecond timestamps relative to the
+     profiler's birth; one track (tid) per worker domain, main-domain
+     phases on track 0.  Loadable as-is in chrome://tracing / Perfetto. *)
+  let ev e =
+    Printf.sprintf
+      {|{"name":"%s","cat":"msst","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d}|}
+      (Ssmst_sim.Trace.json_escape e.ename)
+      (1e6 *. e.ts) (1e6 *. e.dur) e.tid
+  in
+  Printf.sprintf {|{"traceEvents":[%s],"displayTimeUnit":"ms","otherData":{"dropped":%d}}|}
+    (String.concat "," (List.rev_map ev t.events_rev))
+    t.dropped

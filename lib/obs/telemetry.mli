@@ -1,0 +1,98 @@
+(** Wall-clock and allocation telemetry: the physical-cost profiler that
+    sits beside {!Span}'s logical counters.
+
+    Where a {!Span} charges the paper's cost model (rounds, activations,
+    register writes, peak bits), a [Telemetry.t] accumulates what the
+    machine actually spent per named phase — wall seconds
+    ([Unix.gettimeofday]) and [Gc.quick_stat] deltas (minor/major words
+    allocated, collection counts) — fed by the {!Ssmst_parallel.Probe}
+    probes threaded through the hot paths: the engines' sync-round
+    sub-phases (frontier scan, worker compute, effect apply),
+    {!Ssmst_parallel.Domain_pool.run}'s per-worker start/stop stamps,
+    transformer epochs and campaign trials.
+
+    Telemetry is strictly out-of-band: installing it changes no register,
+    metric, alarm, trace or hook byte at any [-d]/[-j] (the PR 7 identity
+    suite asserts this with a profiler attached).  Three renderings: a
+    per-phase table (markdown/CSV), a [chrome://tracing] JSON trace (one
+    track per worker domain), and a JSON block for {!Report.to_json}.
+
+    Threading: {!enter}/{!leave} are main-domain only; worker domains
+    only ever call the injected clock (via [Probe.now]) — so the real
+    clock must be domain-safe ([Unix.gettimeofday] is), while the
+    deterministic {!fake} clock is a mutable counter and therefore only
+    meaningful single-domain.  GC deltas are sampled on the calling
+    domain only; retroactive worker spans carry wall time but no
+    allocation. *)
+
+type gc_sample = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : float;
+  major_collections : float;
+}
+
+type phase = {
+  name : string;
+  mutable calls : int;
+  mutable wall_s : float;
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable minor_collections : float;
+  mutable major_collections : float;
+}
+
+type t
+
+val create : ?clock:(unit -> float) -> ?gc:(unit -> gc_sample) -> ?max_events:int -> unit -> t
+(** Defaults: [Unix.gettimeofday]; a GC sampler with exact words
+    ([Gc.minor_words], [Gc.counters]) and collection counts served from a
+    [Gc.quick_stat] cache refreshed at most once per half minor heap of
+    allocation (the raw quick_stat is ~1.2 us a call — too slow for the
+    per-round probes); and a 200_000-event cap on the Chrome-trace buffer
+    — beyond it events are counted as dropped, phase accumulation never
+    stops.  Inject [clock]/[gc] for deterministic tests. *)
+
+val fake : unit -> t
+(** A deterministic profiler: a clock ticking 1 ms per call and a zeroed
+    GC sampler, so every rendering below is byte-identical across runs of
+    the same (single-domain) workload. *)
+
+val enter : t -> string -> unit
+val leave : t -> string -> unit
+(** Phase begin/end.  [leave] closes the innermost open phase (the name
+    argument is advisory); costs are inclusive — a parent phase includes
+    its children's time and allocation. *)
+
+val span : t -> tid:int -> string -> float -> float -> unit
+(** A retroactive interval on worker track [tid] (from
+    [Domain_pool.run]'s stamps), accumulated under the phase name
+    ["name.d<tid>"] with wall time only. *)
+
+val sink : t -> Ssmst_parallel.Probe.sink
+val install : t -> unit
+(** [Probe.install (sink t)] — from here every probe in the engines,
+    pool, transformer and campaign feeds [t]. *)
+
+val uninstall : unit -> unit
+
+val phases : t -> phase list
+(** In first-entered order. *)
+
+val total_wall_s : t -> float
+(** Last observed clock reading minus creation: the denominator of the
+    table's %% column. *)
+
+val dropped_events : t -> int
+
+val to_markdown : t -> string
+val to_csv : t -> string
+val to_json : t -> string
+(** The machine-readable block {!Report.set_telemetry} folds into
+    {!Report.to_json}:
+    [{"total_wall_s":..,"dropped_events":..,"phases":[..]}]. *)
+
+val to_chrome_trace : t -> string
+(** A [chrome://tracing]-loadable object: complete ("ph":"X") events in
+    microseconds relative to the profiler's creation, [pid] 0, [tid] =
+    worker-domain index (main-domain phases on track 0). *)

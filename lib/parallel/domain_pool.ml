@@ -11,8 +11,38 @@ let domains_from_env ?(var = "MSST_DOMAINS") ?default () =
 
 let slice ~domains n w = (w * n / domains, (w + 1) * n / domains)
 
+(* With a telemetry sink installed, each worker stamps its own start/stop
+   (the only probe field workers may touch is [now]) into a slot pair it
+   alone owns; the calling domain emits the per-worker spans after the
+   barrier, so domain imbalance shows up as ragged track lengths in the
+   Chrome trace without the workers ever sharing telemetry state. *)
 let run ~domains f =
-  if domains <= 1 then f 0 else Domain_backend.parallel_run domains f
+  match Probe.get () with
+  | None -> if domains <= 1 then f 0 else Domain_backend.parallel_run domains f
+  | Some s ->
+      let k = if domains <= 1 then 1 else domains in
+      let stamps = Array.make (2 * k) 0. in
+      let stamped w =
+        stamps.(2 * w) <- s.Probe.now ();
+        Fun.protect
+          ~finally:(fun () -> stamps.((2 * w) + 1) <- s.Probe.now ())
+          (fun () -> f w)
+      in
+      let emit () =
+        for w = 0 to k - 1 do
+          s.Probe.span ~tid:w "worker" stamps.(2 * w) stamps.((2 * w) + 1)
+        done
+      in
+      if k = 1 then (
+        stamped 0;
+        emit ())
+      else (
+        (match Domain_backend.parallel_run k stamped with
+        | () -> ()
+        | exception e ->
+            emit ();
+            raise e);
+        emit ())
 
 let map ?(domains = 1) f tasks =
   let n = List.length tasks in

@@ -39,7 +39,12 @@ val run : domains:int -> (int -> unit) -> unit
     backend allows, worker 0 on the calling domain — and returns after
     all have finished.  [domains <= 1] calls [f 0] directly (no spawn).
     Exceptions re-raise in ascending worker order after the barrier.
-    [f] must confine its writes to worker-disjoint state. *)
+    [f] must confine its writes to worker-disjoint state.
+
+    With a {!Probe} sink installed, every worker's start/stop is stamped
+    with [sink.now] and emitted as a per-worker [span ~tid:w "worker"]
+    after the barrier — strictly out-of-band, so results stay
+    byte-identical with and without telemetry. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f tasks] is [List.map f tasks] computed by [domains]

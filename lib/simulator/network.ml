@@ -21,6 +21,15 @@ open Ssmst_parallel
      everywhere after convergence, so [run_until] loops cost work
      proportional to actual state churn instead of O(rounds * sum deg). *)
 
+(* Telemetry probes: with a {!Probe} sink installed (msst profile, bench
+   PROF), the engines report each synchronous round's wall-clock
+   sub-phases — frontier scan, worker compute, effect apply — strictly
+   out-of-band.  The sink is fetched once per round (disabled cost: one
+   ref read), and quiescent rounds with an empty frontier skip the probes
+   entirely so the enabled overhead stays off the convergence tail. *)
+let penter p name = match p with None -> () | Some s -> s.Probe.enter name
+let pleave p name = match p with None -> () | Some s -> s.Probe.leave name
+
 (* ------------------------------------------------------------------ *)
 (* The naive reference engine                                          *)
 (* ------------------------------------------------------------------ *)
@@ -394,10 +403,12 @@ module Make (P : Protocol.S) = struct
      [apply_write] on the calling domain, ascending, after the barrier —
      states and metrics are byte-identical at every domain count. *)
   let parallel_sync_round t ~round ~members ~domains:k =
+    let prb = Probe.get () in
     let m = Array.length members in
     let pending = pending_buffer t in
     let wasted = Array.make k 0 in
     let snapshot = t.states in
+    penter prb "make.compute";
     Domain_pool.run ~domains:k (fun w ->
         let lo, hi = Domain_pool.slice ~domains:k m w in
         for i = lo to hi - 1 do
@@ -411,6 +422,7 @@ module Make (P : Protocol.S) = struct
           if P.equal s' snapshot.(v) then wasted.(w) <- wasted.(w) + 1
           else pending.(v) <- Some s'
         done);
+    pleave prb "make.compute";
     t.metrics.Metrics.activations <- t.metrics.Metrics.activations + m;
     Array.iter
       (fun c -> t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + c)
@@ -419,6 +431,7 @@ module Make (P : Protocol.S) = struct
       t.metrics.Metrics.skipped_activations + (Graph.n t.graph - m);
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+    penter prb "make.apply";
     for i = 0 to m - 1 do
       let v = members.(i) in
       match pending.(v) with
@@ -429,6 +442,7 @@ module Make (P : Protocol.S) = struct
           apply_write t ~round ~cause:Trace.Init v s';
           dirty_neighbourhood t v
     done;
+    pleave prb "make.apply";
     fire_round_hook t
 
   (* One synchronous round: the dirty nodes step on a snapshot (writes are
@@ -436,6 +450,8 @@ module Make (P : Protocol.S) = struct
      wouldn't change and are skipped. *)
   let sync_round t =
     let round = t.rounds + 1 in
+    let prb = match t.frontier with [] -> None | _ -> Probe.get () in
+    penter prb "make.frontier";
     (* drain the frontier, deduping on the flag *)
     let members =
       List.filter
@@ -453,12 +469,14 @@ module Make (P : Protocol.S) = struct
        sorting here makes the per-round event order — and hence every
        trace/recorder JSONL artifact — stable across engine refactors. *)
     let members = List.sort compare members in
+    pleave prb "make.frontier";
     let capture = capturing t in
     let k = if Domain_pool.available && not capture then t.domains else 1 in
     if k > 1 && List.length members >= 2 * k then
       parallel_sync_round t ~round ~members:(Array.of_list members) ~domains:k
     else begin
     let snapshot = t.states in
+    penter prb "make.compute";
     let writes =
       List.fold_left
         (fun acc v ->
@@ -486,17 +504,20 @@ module Make (P : Protocol.S) = struct
           else (v, s', read_cause t v ~distinct:!distinct ~stamp) :: acc)
         [] members
     in
+    pleave prb "make.compute";
     t.metrics.Metrics.skipped_activations <-
       t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
     (* the fold built [writes] by consing over the ascending members, so
        reversing applies (and emits) them in ascending node order too *)
+    penter prb "make.apply";
     List.iter
       (fun (v, s', cause) ->
         apply_write t ~round ~cause v s';
         dirty_neighbourhood t v)
       (List.rev writes);
+    pleave prb "make.apply";
     fire_round_hook t
     end
 
@@ -801,9 +822,11 @@ module Flat (P : Protocol.PACKED) = struct
      sequential order; traces, metrics and the register file are therefore
      byte-identical at every domain count. *)
   let parallel_sync_round t ~round ~members ~domains:k =
+    let prb = Probe.get () in
     let m = Array.length members in
     let p = par_buffers t in
     let wasted = Array.make k 0 in
+    penter prb "flat.compute";
     Domain_pool.run ~domains:k (fun w ->
         let lo, hi = Domain_pool.slice ~domains:k m w in
         for i = lo to hi - 1 do
@@ -826,6 +849,7 @@ module Flat (P : Protocol.PACKED) = struct
             Bytes.set p.wrote v (if P.alarm s' then '\002' else '\001')
           end
         done);
+    pleave prb "flat.compute";
     t.metrics.Metrics.activations <- t.metrics.Metrics.activations + m;
     Array.iter
       (fun c -> t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + c)
@@ -835,7 +859,10 @@ module Flat (P : Protocol.PACKED) = struct
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
     (* apply deferred writes in ascending node id: the canonical order,
-       shared with the sequential path and {!Make} *)
+       shared with the sequential path and {!Make}.  This loop is the
+       wrote-tag scan plus the scratch->register blits — the cache-miss
+       suspects the ROADMAP names; [flat.apply] makes them measurable. *)
+    penter prb "flat.apply";
     for i = 0 to m - 1 do
       let v = members.(i) in
       match Bytes.get p.wrote v with
@@ -863,7 +890,8 @@ module Flat (P : Protocol.PACKED) = struct
             end
           end;
           dirty_neighbourhood t v
-    done
+    done;
+    pleave prb "flat.apply"
 
   (* One synchronous round: dirty nodes step on the pre-round register
      file (writes are deferred), clean nodes are provably no-ops.  With
@@ -874,6 +902,8 @@ module Flat (P : Protocol.PACKED) = struct
      graphs at [domains] 2–4. *)
   let sync_round t =
     let round = t.rounds + 1 in
+    let prb = match t.frontier with [] -> None | _ -> Probe.get () in
+    penter prb "flat.frontier";
     let members =
       List.filter
         (fun v ->
@@ -886,10 +916,12 @@ module Flat (P : Protocol.PACKED) = struct
     in
     t.frontier <- [];
     let members = List.sort compare members in
+    pleave prb "flat.frontier";
     let k = if Domain_pool.available then t.domains else 1 in
     if k > 1 && List.length members >= 2 * k then
       parallel_sync_round t ~round ~members:(Array.of_list members) ~domains:k
     else begin
+      penter prb "flat.compute";
       let writes =
         List.fold_left
           (fun acc v ->
@@ -908,15 +940,18 @@ module Flat (P : Protocol.PACKED) = struct
             else (v, s') :: acc)
           [] members
       in
+      pleave prb "flat.compute";
       t.metrics.Metrics.skipped_activations <-
         t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
       t.rounds <- round;
       t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
+      penter prb "flat.apply";
       List.iter
         (fun (v, s') ->
           apply_write t ~round v s';
           dirty_neighbourhood t v)
-        (List.rev writes)
+        (List.rev writes);
+      pleave prb "flat.apply"
     end
 
   let compact t =

@@ -123,6 +123,34 @@ let test_flat_identity () =
         [ 2; 4 ])
     (flat_families 4400)
 
+(* Telemetry is specified strictly out-of-band: attaching a live profiler
+   (real clock, real GC sampler) must leave every observable of the run —
+   registers, metrics CSV, rounds, peak bits, alarms, last-write stamps,
+   hook sequence — byte-identical to the unprofiled -d 1 baseline, at
+   every domain count.  Same seven observables as test_flat_identity,
+   with the probes actually firing. *)
+let test_flat_identity_with_telemetry () =
+  List.iter
+    (fun (family, g) ->
+      let baseline = drive_flat ~domains:1 ~seed:4400 g in
+      List.iter
+        (fun d ->
+          let tel = Ssmst_obs.Telemetry.create () in
+          Ssmst_obs.Telemetry.install tel;
+          let profiled =
+            Fun.protect ~finally:Ssmst_obs.Telemetry.uninstall (fun () ->
+                drive_flat ~domains:d ~seed:4400 g)
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s, -d %d: observables unchanged under telemetry" family d)
+            true (profiled = baseline);
+          Alcotest.(check bool)
+            (Fmt.str "%s, -d %d: the profiler actually saw the run" family d)
+            true
+            (Ssmst_obs.Telemetry.phases tel <> []))
+        [ 1; 2; 4 ])
+    (flat_families 4400)
+
 (* ---------------- Make(-d k) = Naive ---------------- *)
 
 let qcheck_make_domains =
@@ -196,6 +224,8 @@ let suite =
       test_run_covers_all_workers;
     Alcotest.test_case "flat: -d 1/2/4 byte-identical across families" `Quick
       test_flat_identity;
+    Alcotest.test_case "flat: telemetry attached changes no observable" `Quick
+      test_flat_identity_with_telemetry;
     QCheck_alcotest.to_alcotest qcheck_make_domains;
     Alcotest.test_case "write order: flat hook = Make trace on a faulted grid" `Quick
       test_write_order_matches_make;

@@ -80,6 +80,151 @@ let test_hist_json () =
   let j = Hist.to_json ~label:{|q"x|} h in
   Alcotest.(check bool) "label escaped" true (contains j {|"label":"q\"x"|})
 
+let test_hist_merge_quantiles () =
+  (* Merging must commute with recording: quantiles of [merge a b] equal
+     the quantiles of one histogram fed the union of the samples (exactly,
+     not approximately — same log buckets either way). *)
+  let xs = [ 1; 2; 2; 5; 9; 40; 41; 1000 ] and ys = [ 0; 3; 8; 8; 700; 7000 ] in
+  let a = Hist.create () and b = Hist.create () and u = Hist.create () in
+  List.iter (Hist.record a) xs;
+  List.iter (Hist.record b) ys;
+  List.iter (Hist.record u) (xs @ ys);
+  let m = Hist.merge a b in
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "q=%.2f merged = union" q)
+        (Hist.quantile u q) (Hist.quantile m q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  Alcotest.(check (list (pair int int))) "same buckets" (Hist.nonzero u) (Hist.nonzero m)
+
+(* ---------------- Json_lite ---------------- *)
+
+let test_json_lite_roundtrip () =
+  let src = {|{"a":[1,-2.5,true,false,null],"s":"x\"\\\n\tz","o":{"k":3e2}}|} in
+  let j = Json_lite.parse src in
+  let o = match Json_lite.mem "o" j with Some o -> o | None -> Alcotest.fail "o missing" in
+  Alcotest.(check (option (float 1e-9))) "nested num" (Some 300.)
+    (Json_lite.num_opt (Json_lite.mem "k" o));
+  Alcotest.(check (option string)) "escapes decode" (Some "x\"\\\n\tz")
+    (Json_lite.str_opt (Json_lite.mem "s" j));
+  Alcotest.(check int) "array length" 5 (List.length (Json_lite.arr (Json_lite.mem "a" j)));
+  (* print-then-parse is the identity on the parsed value *)
+  Alcotest.(check bool) "round trip" true
+    (Json_lite.parse (Json_lite.to_string j) = j)
+
+let test_json_lite_malformed () =
+  List.iter
+    (fun s ->
+      match Json_lite.parse s with
+      | _ -> Alcotest.failf "parse accepted malformed %S" s
+      | exception Json_lite.Bad _ -> ())
+    [
+      "";
+      "tru";
+      {|{"a":1|};
+      {|[1,2,]|};
+      {|{} x|} (* trailing garbage *);
+      {|"\q"|} (* unsupported escape *);
+      {|[1e]|};
+      {|"unterminated|};
+      {|{"a" 1}|};
+    ]
+
+(* ---------------- Telemetry ---------------- *)
+
+(* A little workload against an explicit [t]: nested phases plus a worker
+   span, enough to exercise every accumulator and the event buffer. *)
+let telemetry_workload (t : Telemetry.t) =
+  Telemetry.enter t "round";
+  Telemetry.enter t "compute";
+  Telemetry.leave t "compute";
+  Telemetry.enter t "apply";
+  Telemetry.leave t "apply";
+  Telemetry.leave t "round";
+  Telemetry.span t ~tid:1 "worker" 0.002 0.004;
+  Telemetry.span t ~tid:1 "worker" 0.004 0.005
+
+let test_telemetry_fake_deterministic () =
+  let render t =
+    ( Telemetry.to_markdown t,
+      Telemetry.to_csv t,
+      Telemetry.to_json t,
+      Telemetry.to_chrome_trace t )
+  in
+  let t1 = Telemetry.fake () and t2 = Telemetry.fake () in
+  telemetry_workload t1;
+  telemetry_workload t2;
+  let m1, c1, j1, x1 = render t1 and m2, c2, j2, x2 = render t2 in
+  Alcotest.(check string) "markdown byte-identical" m1 m2;
+  Alcotest.(check string) "csv byte-identical" c1 c2;
+  Alcotest.(check string) "json byte-identical" j1 j2;
+  Alcotest.(check string) "chrome trace byte-identical" x1 x2;
+  Alcotest.(check bool) "chrome trace has complete events" true (contains x1 {|"ph":"X"|});
+  Alcotest.(check bool) "trace json parses" true
+    (match Json_lite.parse x1 with _ -> true | exception Json_lite.Bad _ -> false);
+  Alcotest.(check bool) "report json parses" true
+    (match Json_lite.parse j1 with _ -> true | exception Json_lite.Bad _ -> false)
+
+let test_telemetry_accumulation () =
+  let ticks = ref 0 in
+  let clock () =
+    incr ticks;
+    float_of_int !ticks *. 0.001
+  in
+  let minor = ref 0. in
+  let gc () =
+    Telemetry.
+      { minor_words = !minor; major_words = 0.; minor_collections = 0.; major_collections = 0. }
+  in
+  let t = Telemetry.create ~clock ~gc () in
+  Telemetry.enter t "work";
+  minor := 500.;
+  Telemetry.leave t "work";
+  Telemetry.span t ~tid:2 "worker" 0.010 0.025;
+  Telemetry.span t ~tid:2 "worker" 0.030 0.035;
+  let find name = List.find (fun (p : Telemetry.phase) -> p.name = name) (Telemetry.phases t) in
+  let w = find "work" in
+  Alcotest.(check int) "phase calls" 1 w.calls;
+  Alcotest.(check (float 1e-9)) "phase gc delta" 500. w.minor_words;
+  Alcotest.(check bool) "phase wall positive" true (w.wall_s > 0.);
+  let d2 = find "worker.d2" in
+  Alcotest.(check int) "span calls accumulate per track" 2 d2.calls;
+  Alcotest.(check (float 1e-9)) "span wall sums" 0.020 d2.wall_s
+
+let test_telemetry_event_cap () =
+  let ticks = ref 0 in
+  let clock () =
+    incr ticks;
+    float_of_int !ticks *. 0.001
+  in
+  let gc () =
+    Telemetry.{ minor_words = 0.; major_words = 0.; minor_collections = 0.; major_collections = 0. }
+  in
+  let t = Telemetry.create ~clock ~gc ~max_events:2 () in
+  for _ = 1 to 4 do
+    Telemetry.enter t "p";
+    Telemetry.leave t "p"
+  done;
+  Alcotest.(check int) "events past the cap are counted dropped" 2 (Telemetry.dropped_events t);
+  (* accumulation never stops: all four calls are still charged *)
+  let p = List.hd (Telemetry.phases t) in
+  Alcotest.(check int) "phase accumulation survives the cap" 4 p.calls;
+  Alcotest.(check bool) "trace reports the drop" true
+    (contains (Telemetry.to_chrome_trace t) {|"dropped":2|})
+
+let test_telemetry_probe_wiring () =
+  let t = Telemetry.fake () in
+  Telemetry.install t;
+  Fun.protect ~finally:Telemetry.uninstall (fun () ->
+      Ssmst_parallel.Probe.with_ "outer" (fun () ->
+          Ssmst_parallel.Probe.with_ "inner" Fun.id));
+  let names = List.map (fun (p : Telemetry.phase) -> p.name) (Telemetry.phases t) in
+  Alcotest.(check (list string)) "probes feed the installed sink (entry order)"
+    [ "inner"; "outer" ] names;
+  Alcotest.(check bool) "uninstalled probes are inert" true
+    (Ssmst_parallel.Probe.get () = None)
+
 (* ---------------- Span ---------------- *)
 
 let test_span_sampling_and_nesting () =
@@ -723,6 +868,16 @@ let suite =
     Alcotest.test_case "hist: quantile sandwich vs exact" `Quick test_hist_quantile_sandwich;
     Alcotest.test_case "hist: merge" `Quick test_hist_merge;
     Alcotest.test_case "hist: json label escaping" `Quick test_hist_json;
+    Alcotest.test_case "hist: merge commutes with quantiles" `Quick test_hist_merge_quantiles;
+    Alcotest.test_case "json_lite: round trip" `Quick test_json_lite_roundtrip;
+    Alcotest.test_case "json_lite: malformed inputs raise Bad" `Quick test_json_lite_malformed;
+    Alcotest.test_case "telemetry: fake clock is byte-deterministic" `Quick
+      test_telemetry_fake_deterministic;
+    Alcotest.test_case "telemetry: phase + span accumulation" `Quick
+      test_telemetry_accumulation;
+    Alcotest.test_case "telemetry: event cap counts drops" `Quick test_telemetry_event_cap;
+    Alcotest.test_case "telemetry: probe install/uninstall wiring" `Quick
+      test_telemetry_probe_wiring;
     Alcotest.test_case "span: sampling + nesting" `Quick test_span_sampling_and_nesting;
     Alcotest.test_case "span: charge is inclusive" `Quick test_span_charge_is_inclusive;
     Alcotest.test_case "span: exception safety + finish" `Quick
