@@ -1069,24 +1069,67 @@ let fig_prof () =
     | Some s -> ( try int_of_string s with _ -> 250_000)
     | None -> 250_000
   in
+  (* The dense-frontier budget (PR 10): the flat.frontier phase must stay
+     under this share of the flat.* round wall time at scale.  The list
+     frontier sat at ~42%; the dense frontier's contract is < 25%.
+     SSMST_PROF_FRONTIER_BUDGET (percent) softens it for noisy runners. *)
+  let frontier_budget =
+    match Sys.getenv_opt "SSMST_PROF_FRONTIER_BUDGET" with
+    | Some s -> ( try float_of_string s with Failure _ -> 25.)
+    | None -> 25.
+  in
+  let frontier_fail = ref None in
   if breakdown_n > 0 then begin
     let module P = Ssmst_protocols.Ss_bfs.P in
     let module F = Network.Flat (P) in
     let side = max 2 (int_of_float (sqrt (float_of_int breakdown_n))) in
     let g = Gen.stream_grid ~seed:7700 side side in
     let d = min 4 (Ssmst_parallel.Pool.cpu_count ()) in
+    let rounds = 12 in
     let tel = Ssmst_obs.Telemetry.create () in
     Ssmst_obs.Telemetry.install tel;
     Fun.protect ~finally:Ssmst_obs.Telemetry.uninstall (fun () ->
         let net = F.create ~domains:d g in
-        for r = 1 to 12 do
+        for r = 1 to rounds do
           if r mod 4 = 1 then
             ignore (F.inject net (Gen.rng (9000 + r)) (Fault.uniform ~count:64));
           F.round net Scheduler.Sync
         done);
     Fmt.pr "@.per-phase breakdown — flat parallel round, grid n=%d, -d %d:@.@.%s@."
       (Graph.n g) d
-      (Ssmst_obs.Telemetry.to_markdown tel)
+      (Ssmst_obs.Telemetry.to_markdown tel);
+    (* distil the two trajectory metrics the REPORT regression flag keys
+       on: frontier's share of the flat.* round wall, and allocation per
+       round summed over the flat.* phases *)
+    let flat_phase (p : Ssmst_obs.Telemetry.phase) =
+      String.length p.name > 5 && String.sub p.name 0 5 = "flat."
+    in
+    let phases = List.filter flat_phase (Ssmst_obs.Telemetry.phases tel) in
+    let sum f = List.fold_left (fun acc p -> acc +. f p) 0. phases in
+    let wall = sum (fun p -> p.Ssmst_obs.Telemetry.wall_s) in
+    let frontier_wall =
+      sum (fun p -> if p.Ssmst_obs.Telemetry.name = "flat.frontier" then p.wall_s else 0.)
+    in
+    let share = if wall > 0. then 100. *. frontier_wall /. wall else 0. in
+    let minor_per_round =
+      sum (fun p -> p.Ssmst_obs.Telemetry.minor_words) /. float_of_int rounds
+    in
+    Fmt.pr "frontier share of round wall: %.1f%% (budget < %.0f%%)@." share frontier_budget;
+    Fmt.pr "minor words per round (flat.* phases): %.3e@." minor_per_round;
+    if share >= frontier_budget then
+      frontier_fail :=
+        Some (Fmt.str "frontier share %.1f%% >= budget %.0f%%" share frontier_budget);
+    let json_path =
+      Option.value ~default:"BENCH_PR10.json" (Sys.getenv_opt "SSMST_BENCH_PR10_JSON")
+    in
+    let contents =
+      Printf.sprintf
+        {|{"pr":10,"gated":true,"frontier_budget_pct":%.1f,"workloads":[{"name":"flat grid n=%d -d %d breakdown","frontier_share_pct":%.2f,"minor_words_per_round":%.1f,"wall_s":%.6f}],"within_budget":%b}
+|}
+        frontier_budget (Graph.n g) d share minor_per_round wall
+        (share < frontier_budget)
+    in
+    ignore (write_artifact_guarded ~json_path ~gated:true contents)
   end;
   let rows = List.rev !rows in
   let identity_ok = List.for_all (fun (_, _, _, _, id, _) -> id) rows in
@@ -1116,12 +1159,17 @@ let fig_prof () =
     Fmt.pr "PROF: telemetry leaked into the metrics CSV — out-of-band contract broken.@.";
     exit 1
   end;
-  match List.filter (fun (_, _, _, ov, _, gated) -> gated && ov > budget) rows with
+  (match List.filter (fun (_, _, _, ov, _, gated) -> gated && ov > budget) rows with
   | [] -> Fmt.pr "telemetry overhead within the %.0f%% budget.@." (100. *. budget)
   | fs ->
       Fmt.pr "PROF overhead budget (%.0f%%) exceeded: %a@." (100. *. budget)
         Fmt.(list ~sep:comma string)
         (List.map (fun (n, _, _, ov, _, _) -> Fmt.str "%s (%+.1f%%)" n (100. *. ov)) fs);
+      exit 1);
+  match !frontier_fail with
+  | None -> ()
+  | Some msg ->
+      Fmt.pr "PROF frontier budget exceeded: %s@." msg;
       exit 1
 
 (* ==================================================================== *)
@@ -1602,7 +1650,7 @@ let fig_report () =
     let worse_if_up =
       [
         "overhead_pct"; "wall_s"; "wall_on_s"; "wall_off_s"; "run_s"; "build_s";
-        "bytes_per_node"; "rss_delta_mb";
+        "bytes_per_node"; "rss_delta_mb"; "frontier_share_pct"; "minor_words_per_round";
       ]
     and worse_if_down = [ "rounds_per_sec"; "speedup"; "events_per_sec" ] in
     let series = Hashtbl.create 32 and keys_rev = ref [] in

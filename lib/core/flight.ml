@@ -101,7 +101,7 @@ let record_verify ?alarm p =
   Net.set_write_hook net (R.engine_hook rec_ (Net.states net));
   let victims = Net.inject net (Gen.rng (p.seed + 2)) (fault_model p) in
   let detection = Net.detection_time net Scheduler.Sync ~max_rounds:p.max_rounds in
-  let alarms = List.sort compare (Net.alarming_nodes net) in
+  let alarms = List.sort Int.compare (Net.alarming_nodes net) in
   let f = max 1 (List.length victims) in
   let bound = p.distance_c * f * Memory.of_nat p.n in
   let witness_of ?round node =

@@ -47,15 +47,19 @@ let prim ?(root = 0) (g : Graph.t) (w : weight_fn) =
   done;
   Tree.of_parents g parent
 
+(* Lexicographic (u, v) order, monomorphic: identical to the polymorphic
+   [compare] on int pairs, minus the generic-compare dispatch. *)
+let compare_edge (a, b) (c, d) = if a <> c then Int.compare a c else Int.compare b d
+
 let edge_set_of_tree t =
   List.map (fun (v, p) -> (min v p, max v p)) (Tree.tree_edges t)
-  |> List.sort compare
+  |> List.sort compare_edge
 
 (* Decide whether a claimed spanning tree is *the* MST under [w].  With
    distinct weights the MST is unique, so set equality with Kruskal's output
    is a sound and complete check. *)
 let is_mst (g : Graph.t) (w : weight_fn) (t : Tree.t) =
-  let reference = kruskal g w |> List.sort compare in
+  let reference = kruskal g w |> List.sort compare_edge in
   edge_set_of_tree t = reference
 
 (* Minimum outgoing edge of a node set [in_set] (the cut rule); [None] if the

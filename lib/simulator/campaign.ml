@@ -143,7 +143,7 @@ type agg = {
 let percentiles = function
   | [] -> (-1, -1, -1)
   | xs ->
-      let a = Array.of_list (List.sort compare xs) in
+      let a = Array.of_list (List.sort Int.compare xs) in
       let last = Array.length a - 1 in
       (a.(0), a.(last / 2), a.(((95 * last) + 99) / 100))
 

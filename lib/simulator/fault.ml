@@ -79,7 +79,7 @@ let sample_distinct st universe count =
   while Hashtbl.length chosen < count do
     Hashtbl.replace chosen universe.(Random.State.int st n) ()
   done;
-  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) chosen [])
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) chosen [])
 
 let choose_victims st g m =
   let n = Graph.n g in
@@ -108,17 +108,21 @@ let choose_victims st g m =
       for v = n - 1 downto 0 do
         if d.(v) >= 0 then reachable := v :: !reachable
       done;
+      (* closest-first, node id breaking distance ties — monomorphic, and
+         allocation-free where the old polymorphic tuple compare was not *)
       let closest =
-        List.sort (fun u v -> compare (d.(u), u) (d.(v), v)) !reachable
+        List.sort
+          (fun u v -> if d.(u) <> d.(v) then Int.compare d.(u) d.(v) else Int.compare u v)
+          !reachable
         |> List.filteri (fun i _ -> i < m.count)
       in
-      List.sort compare closest
+      List.sort Int.compare closest
   | Targeted vs ->
       List.iter
         (fun v ->
           if v < 0 || v >= n then invalid_arg "Fault.choose_victims: targeted victim out of range")
         vs;
-      List.sort_uniq compare vs
+      List.sort_uniq Int.compare vs
 
 module Apply (P : Protocol.S) = struct
   let corrupt_one st g severity v s =

@@ -1,0 +1,162 @@
+(* Dense dirty-node frontier (see the interface).  Invariant: every node
+   whose dirty flag is set has at least one entry in [buf.(0 .. len-1)];
+   entries whose flag is clear are stale and get dropped by the next
+   drain/compact.  A node can appear at most twice live-ish (one stale
+   entry shadowed by a re-mark), and dedup falls out of the clear-flag-
+   while-collecting discipline: the first entry scanned for a dirty node
+   collects it and clears the flag, so any later duplicate reads as
+   stale. *)
+
+type t = {
+  dirty : bool array;
+  members : int array;  (* drain output; capacity n, live members are distinct *)
+  mutable buf : int array;  (* insertion-order entries, live + stale *)
+  mutable len : int;
+}
+
+let n t = Array.length t.dirty
+let mem t v = t.dirty.(v)
+let is_empty t = t.len = 0
+let length t = t.len
+
+let live t =
+  let c = ref 0 in
+  Array.iter (fun d -> if d then incr c) t.dirty;
+  !c
+
+(* ---- monomorphic in-place int sort ---------------------------------- *)
+
+let insertion a lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+(* Median-of-three quicksort, recursing on the smaller side and looping
+   on the larger so the stack stays O(log m).  Members are distinct node
+   ids, so no equal-key pathologies arise; the median pivot handles the
+   already-sorted runs the mark order tends to produce. *)
+let rec qsort a lo hi =
+  if hi - lo <= 24 then insertion a lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let swap i j =
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    in
+    (* order a.(lo) <= a.(mid) <= a.(hi-1), then pivot = a.(mid) *)
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi - 1) < a.(lo) then swap (hi - 1) lo;
+    if a.(hi - 1) < a.(mid) then swap (hi - 1) mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while a.(!i) < pivot do incr i done;
+      while a.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    if !j + 1 - lo < hi - !i then begin
+      qsort a lo (!j + 1);
+      qsort a !i hi
+    end
+    else begin
+      qsort a !i hi;
+      qsort a lo (!j + 1)
+    end
+  end
+
+let sort a m = qsort a 0 m
+
+(* ---- mutation ------------------------------------------------------- *)
+
+let mark t v =
+  if not t.dirty.(v) then begin
+    t.dirty.(v) <- true;
+    if t.len = Array.length t.buf then begin
+      (* only async flag churn can push past n entries; double and move on *)
+      let nb = Array.make (max 8 (2 * Array.length t.buf)) 0 in
+      Array.blit t.buf 0 nb 0 t.len;
+      t.buf <- nb
+    end;
+    t.buf.(t.len) <- v;
+    t.len <- t.len + 1
+  end
+
+let unmark t v = t.dirty.(v) <- false
+
+let fill t =
+  let n = Array.length t.dirty in
+  for v = 0 to n - 1 do
+    t.dirty.(v) <- true;
+    t.buf.(v) <- v
+  done;
+  t.len <- n
+
+let create ?(all_dirty = true) n =
+  let t =
+    {
+      dirty = Array.make n false;
+      members = Array.make (max n 1) 0;
+      buf = Array.make (max n 1) 0;
+      len = 0;
+    }
+  in
+  if all_dirty then fill t;
+  t
+
+(* Dense frontiers (>= n/8 entries) drain by an ordered scan of the flag
+   array: O(n) predictable branches, ascending for free — cheaper than
+   sorting ~n collected members.  Sparse frontiers collect the live
+   entries and sort the short prefix.  Both paths clear every flag and
+   produce the identical ascending member sequence. *)
+let drain t =
+  let n = Array.length t.dirty in
+  let members = t.members in
+  let m = ref 0 in
+  if t.len >= n lsr 3 then
+    for v = 0 to n - 1 do
+      if t.dirty.(v) then begin
+        t.dirty.(v) <- false;
+        members.(!m) <- v;
+        incr m
+      end
+    done
+  else begin
+    for i = 0 to t.len - 1 do
+      let v = t.buf.(i) in
+      if t.dirty.(v) then begin
+        t.dirty.(v) <- false;
+        members.(!m) <- v;
+        incr m
+      end
+    done;
+    sort members !m
+  end;
+  t.len <- 0;
+  (members, !m)
+
+let compact t =
+  let m = ref 0 in
+  for i = 0 to t.len - 1 do
+    let v = t.buf.(i) in
+    if t.dirty.(v) then begin
+      (* clearing while collecting dedupes: a later duplicate reads stale *)
+      t.dirty.(v) <- false;
+      t.buf.(!m) <- v;
+      incr m
+    end
+  done;
+  for i = 0 to !m - 1 do
+    t.dirty.(t.buf.(i)) <- true
+  done;
+  t.len <- !m

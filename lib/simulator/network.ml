@@ -167,11 +167,10 @@ module Make (P : Protocol.S) = struct
     states : P.state array;  (* live registers; mutate via [set_state] only *)
     mutable rounds : int;  (* ideal time elapsed *)
     mutable peak_bits : int;
-    (* dirty set: [dirty.(v)] iff v's next step may change its register.
-       [frontier] lists every dirty node (plus stale entries whose flag was
-       cleared since insertion; consumers filter on the flag). *)
-    dirty : bool array;
-    mutable frontier : int list;
+    (* dirty set + dense member buffer: [Frontier.mem] iff v's next step
+       may change its register; rounds drain the live members in ascending
+       node id with zero list allocation (see {!Frontier}). *)
+    frontier : Frontier.t;
     (* incremental alarm tracking: [alarm_flags.(v)] mirrors
        [P.alarm states.(v)]; [alarm_count] counts set flags. *)
     alarm_flags : bool array;
@@ -202,11 +201,7 @@ module Make (P : Protocol.S) = struct
     mutable pending : P.state option array;
   }
 
-  let mark_dirty t v =
-    if not t.dirty.(v) then begin
-      t.dirty.(v) <- true;
-      t.frontier <- v :: t.frontier
-    end
+  let mark_dirty t v = Frontier.mark t.frontier v
 
   (* A changed register invalidates the node's own next step and every
      neighbour's. *)
@@ -227,8 +222,7 @@ module Make (P : Protocol.S) = struct
         states;
         rounds = 0;
         peak_bits = peak;
-        dirty = Array.make n true;
-        frontier = List.init n Fun.id;
+        frontier = Frontier.create n;
         alarm_flags;
         alarm_count = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alarm_flags;
         last_write = Array.make n 0;
@@ -402,9 +396,7 @@ module Make (P : Protocol.S) = struct
      slots for members they own; every effect funnels through
      [apply_write] on the calling domain, ascending, after the barrier —
      states and metrics are byte-identical at every domain count. *)
-  let parallel_sync_round t ~round ~members ~domains:k =
-    let prb = Probe.get () in
-    let m = Array.length members in
+  let parallel_sync_round t ~prb ~round ~members ~m ~domains:k =
     let pending = pending_buffer t in
     let wasted = Array.make k 0 in
     let snapshot = t.states in
@@ -450,73 +442,57 @@ module Make (P : Protocol.S) = struct
      wouldn't change and are skipped. *)
   let sync_round t =
     let round = t.rounds + 1 in
-    let prb = match t.frontier with [] -> None | _ -> Probe.get () in
+    let prb = if Frontier.is_empty t.frontier then None else Probe.get () in
     penter prb "make.frontier";
-    (* drain the frontier, deduping on the flag *)
-    let members =
-      List.filter
-        (fun v ->
-          if t.dirty.(v) then begin
-            t.dirty.(v) <- false;
-            true
-          end
-          else false)
-        t.frontier
-    in
-    t.frontier <- [];
-    (* canonical activation order: ascending node id.  The frontier's list
-       shape is an engine-internal accident (cons order of dirty marks);
-       sorting here makes the per-round event order — and hence every
-       trace/recorder JSONL artifact — stable across engine refactors. *)
-    let members = List.sort compare members in
+    (* drain the frontier: stale entries dropped, flags cleared, members
+       come back in canonical ascending node id — the order that makes the
+       per-round event stream (and hence every trace/recorder JSONL
+       artifact) stable across engine refactors — with zero allocation *)
+    let members, m = Frontier.drain t.frontier in
     pleave prb "make.frontier";
     let capture = capturing t in
     let k = if Domain_pool.available && not capture then t.domains else 1 in
-    if k > 1 && List.length members >= 2 * k then
-      parallel_sync_round t ~round ~members:(Array.of_list members) ~domains:k
+    if k > 1 && m >= 2 * k then parallel_sync_round t ~prb ~round ~members ~m ~domains:k
     else begin
     let snapshot = t.states in
     penter prb "make.compute";
-    let writes =
-      List.fold_left
-        (fun acc v ->
-          t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
-          emit t (Trace.Activation { round; node = v });
-          (* with a listener attached, record which neighbours the step
-             read: the causal in-edges of the resulting write *)
-          t.read_stamp <- t.read_stamp + 1;
-          let stamp = t.read_stamp in
-          let distinct = ref 0 in
-          let read u =
-            if not (Graph.has_edge t.graph v u) then
-              invalid_arg "Network.step: reading a non-neighbour";
-            if capture && t.read_mark.(u) <> stamp then begin
-              t.read_mark.(u) <- stamp;
-              incr distinct
-            end;
-            snapshot.(u)
-          in
-          let s' = P.step t.graph v snapshot.(v) read in
-          if P.equal s' snapshot.(v) then begin
-            t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1;
-            acc
-          end
-          else (v, s', read_cause t v ~distinct:!distinct ~stamp) :: acc)
-        [] members
-    in
+    let writes = ref [] in
+    for i = 0 to m - 1 do
+      let v = members.(i) in
+      t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
+      emit t (Trace.Activation { round; node = v });
+      (* with a listener attached, record which neighbours the step
+         read: the causal in-edges of the resulting write *)
+      t.read_stamp <- t.read_stamp + 1;
+      let stamp = t.read_stamp in
+      let distinct = ref 0 in
+      let read u =
+        if not (Graph.has_edge t.graph v u) then
+          invalid_arg "Network.step: reading a non-neighbour";
+        if capture && t.read_mark.(u) <> stamp then begin
+          t.read_mark.(u) <- stamp;
+          incr distinct
+        end;
+        snapshot.(u)
+      in
+      let s' = P.step t.graph v snapshot.(v) read in
+      if P.equal s' snapshot.(v) then
+        t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1
+      else writes := (v, s', read_cause t v ~distinct:!distinct ~stamp) :: !writes
+    done;
     pleave prb "make.compute";
     t.metrics.Metrics.skipped_activations <-
-      t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
+      t.metrics.Metrics.skipped_activations + (Graph.n t.graph - m);
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
-    (* the fold built [writes] by consing over the ascending members, so
+    (* the loop built [writes] by consing over the ascending members, so
        reversing applies (and emits) them in ascending node order too *)
     penter prb "make.apply";
     List.iter
       (fun (v, s', cause) ->
         apply_write t ~round ~cause v s';
         dirty_neighbourhood t v)
-      (List.rev writes);
+      (List.rev !writes);
     pleave prb "make.apply";
     fire_round_hook t
     end
@@ -524,19 +500,7 @@ module Make (P : Protocol.S) = struct
   (* Compact the frontier after an async round: within-round flag churn
      leaves stale entries behind; without compaction they would accumulate
      across rounds. *)
-  let compact t =
-    let live =
-      List.filter
-        (fun v ->
-          if t.dirty.(v) then begin
-            t.dirty.(v) <- false;
-            true
-          end
-          else false)
-        t.frontier
-    in
-    List.iter (fun v -> t.dirty.(v) <- true) live;
-    t.frontier <- live
+  let compact t = Frontier.compact t.frontier
 
   (* One asynchronous round under a fair daemon: the schedule is drawn
      exactly as in {!Naive} (same RNG consumption); scheduled clean nodes
@@ -547,8 +511,8 @@ module Make (P : Protocol.S) = struct
     let capture = capturing t in
     List.iter
       (fun v ->
-        if t.dirty.(v) then begin
-          t.dirty.(v) <- false;
+        if Frontier.mem t.frontier v then begin
+          Frontier.unmark t.frontier v;
           t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
           emit t (Trace.Activation { round; node = v });
           t.read_stamp <- t.read_stamp + 1;
@@ -677,8 +641,7 @@ module Flat (P : Protocol.PACKED) = struct
     regs : int array;  (* the register file: node v at [v * words] *)
     mutable rounds : int;
     mutable peak_bits : int;  (* modeled bits (P.bits), as in Make *)
-    dirty : bool array;
-    mutable frontier : int list;
+    frontier : Frontier.t;  (* dirty flags + dense member buffer *)
     alarm_flags : bool array;
     mutable alarm_count : int;
     last_write : int array;
@@ -692,11 +655,7 @@ module Flat (P : Protocol.PACKED) = struct
     mutable write_hook : (round:int -> node:int -> unit) option;
   }
 
-  let mark_dirty t v =
-    if not t.dirty.(v) then begin
-      t.dirty.(v) <- true;
-      t.frontier <- v :: t.frontier
-    end
+  let mark_dirty t v = Frontier.mark t.frontier v
 
   let dirty_neighbourhood t v =
     mark_dirty t v;
@@ -726,8 +685,7 @@ module Flat (P : Protocol.PACKED) = struct
         regs;
         rounds = 0;
         peak_bits = !peak;
-        dirty = Array.make n true;
-        frontier = List.init n Fun.id;
+        frontier = Frontier.create n;
         alarm_flags;
         alarm_count = !alarms;
         last_write = Array.make n 0;
@@ -811,44 +769,59 @@ module Flat (P : Protocol.PACKED) = struct
         t.par <- Some p;
         p
 
-  (* The domain-parallel sync round.  Correctness rests on the same
-     deferred-write snapshot as the sequential path: until the barrier,
-     workers read only the pre-round register file and write only the
-     [v * words] scratch slices of members they own (contiguous slices of
-     the sorted member array are node-disjoint), so domains share nothing
-     writable.  Every observable effect — register blits, metrics, the
-     write hook, alarm flags, dirty marking — happens after the barrier on
-     the calling domain in ascending node id, which is exactly the
-     sequential order; traces, metrics and the register file are therefore
-     byte-identical at every domain count. *)
-  let parallel_sync_round t ~round ~members ~domains:k =
-    let prb = Probe.get () in
-    let m = Array.length members in
+  (* One worker's share of a deferred sync round: step members.(lo..hi-1)
+     against the pre-round register file, staging every changed register
+     in the scratch slice its member owns.  [w] indexes the private
+     wasted-step counter.  Runs on the calling domain when sequential
+     (lo = 0, hi = m) and on worker domains when parallel; either way
+     nothing observable mutates before the apply loop.  The [read]
+     closure is hoisted out of the member loop (one allocation per range
+     per round, not per step) with the current member threaded through a
+     ref. *)
+  let compute_range t p wasted w members lo hi =
+    let cur = ref 0 in
+    let read u =
+      if not (Graph.has_edge t.graph !cur u) then
+        invalid_arg "Network.step: reading a non-neighbour";
+      state t u
+    in
+    for i = lo to hi - 1 do
+      let v = members.(i) in
+      cur := v;
+      let own = state t v in
+      let s' = P.step t.graph v own read in
+      if P.equal s' own then wasted.(w) <- wasted.(w) + 1
+      else begin
+        (* the codec may leave slice words untouched (keeping their
+           previous value): seed the scratch slice from the live
+           register so the apply blit is exact *)
+        Array.blit t.regs (v * t.words) p.scratch (v * t.words) t.words;
+        P.pack t.graph v s' p.scratch (v * t.words);
+        p.new_bits.(v) <- P.bits s';
+        Bytes.set p.wrote v (if P.alarm s' then '\002' else '\001')
+      end
+    done
+
+  (* The deferred sync round, shared by the sequential (k = 1) and
+     domain-parallel (k > 1) paths so work accounting and effect order are
+     identical by construction.  Correctness rests on the deferred-write
+     snapshot: until the barrier, workers read only the pre-round register
+     file and write only the [v * words] scratch slices of members they
+     own (contiguous slices of the ascending member array are
+     node-disjoint), so domains share nothing writable.  Every observable
+     effect — register blits, metrics, the write hook, alarm flags, dirty
+     marking — happens after the barrier on the calling domain in
+     ascending node id; registers and metrics are therefore byte-identical
+     at every domain count. *)
+  let deferred_sync_round t ~prb ~round ~members ~m ~domains:k =
     let p = par_buffers t in
     let wasted = Array.make k 0 in
     penter prb "flat.compute";
-    Domain_pool.run ~domains:k (fun w ->
-        let lo, hi = Domain_pool.slice ~domains:k m w in
-        for i = lo to hi - 1 do
-          let v = members.(i) in
-          let read u =
-            if not (Graph.has_edge t.graph v u) then
-              invalid_arg "Network.step: reading a non-neighbour";
-            state t u
-          in
-          let own = state t v in
-          let s' = P.step t.graph v own read in
-          if P.equal s' own then wasted.(w) <- wasted.(w) + 1
-          else begin
-            (* the codec may leave slice words untouched (keeping their
-               previous value): seed the scratch slice from the live
-               register so the apply blit is exact *)
-            Array.blit t.regs (v * t.words) p.scratch (v * t.words) t.words;
-            P.pack t.graph v s' p.scratch (v * t.words);
-            p.new_bits.(v) <- P.bits s';
-            Bytes.set p.wrote v (if P.alarm s' then '\002' else '\001')
-          end
-        done);
+    if k = 1 then compute_range t p wasted 0 members 0 m
+    else
+      Domain_pool.run ~domains:k (fun w ->
+          let lo, hi = Domain_pool.slice ~domains:k m w in
+          compute_range t p wasted w members lo hi);
     pleave prb "flat.compute";
     t.metrics.Metrics.activations <- t.metrics.Metrics.activations + m;
     Array.iter
@@ -859,9 +832,9 @@ module Flat (P : Protocol.PACKED) = struct
     t.rounds <- round;
     t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
     (* apply deferred writes in ascending node id: the canonical order,
-       shared with the sequential path and {!Make}.  This loop is the
-       wrote-tag scan plus the scratch->register blits — the cache-miss
-       suspects the ROADMAP names; [flat.apply] makes them measurable. *)
+       shared with {!Make}.  This loop is the wrote-tag scan plus the
+       scratch->register blits — the cache-miss suspects the ROADMAP
+       names; [flat.apply] makes them measurable. *)
     penter prb "flat.apply";
     for i = 0 to m - 1 do
       let v = members.(i) in
@@ -896,77 +869,22 @@ module Flat (P : Protocol.PACKED) = struct
   (* One synchronous round: dirty nodes step on the pre-round register
      file (writes are deferred), clean nodes are provably no-ops.  With
      [domains > 1] on a multicore runtime, rounds whose frontier is worth
-     splitting take {!parallel_sync_round}; tiny frontiers (convergence
-     tails) stay sequential — the cutoff keeps per-round overhead off the
-     quiescent path while still exercising the parallel code on small test
-     graphs at [domains] 2–4. *)
+     splitting fan out across worker domains; tiny frontiers (convergence
+     tails) stay on the calling domain — the cutoff keeps per-round
+     overhead off the quiescent path while still exercising the parallel
+     code on small test graphs at [domains] 2–4.  Both cases run the same
+     {!deferred_sync_round}. *)
   let sync_round t =
     let round = t.rounds + 1 in
-    let prb = match t.frontier with [] -> None | _ -> Probe.get () in
+    let prb = if Frontier.is_empty t.frontier then None else Probe.get () in
     penter prb "flat.frontier";
-    let members =
-      List.filter
-        (fun v ->
-          if t.dirty.(v) then begin
-            t.dirty.(v) <- false;
-            true
-          end
-          else false)
-        t.frontier
-    in
-    t.frontier <- [];
-    let members = List.sort compare members in
+    let members, m = Frontier.drain t.frontier in
     pleave prb "flat.frontier";
     let k = if Domain_pool.available then t.domains else 1 in
-    if k > 1 && List.length members >= 2 * k then
-      parallel_sync_round t ~round ~members:(Array.of_list members) ~domains:k
-    else begin
-      penter prb "flat.compute";
-      let writes =
-        List.fold_left
-          (fun acc v ->
-            t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
-            let read u =
-              if not (Graph.has_edge t.graph v u) then
-                invalid_arg "Network.step: reading a non-neighbour";
-              state t u
-            in
-            let own = state t v in
-            let s' = P.step t.graph v own read in
-            if P.equal s' own then begin
-              t.metrics.Metrics.wasted_steps <- t.metrics.Metrics.wasted_steps + 1;
-              acc
-            end
-            else (v, s') :: acc)
-          [] members
-      in
-      pleave prb "flat.compute";
-      t.metrics.Metrics.skipped_activations <-
-        t.metrics.Metrics.skipped_activations + (Graph.n t.graph - List.length members);
-      t.rounds <- round;
-      t.metrics.Metrics.rounds <- t.metrics.Metrics.rounds + 1;
-      penter prb "flat.apply";
-      List.iter
-        (fun (v, s') ->
-          apply_write t ~round v s';
-          dirty_neighbourhood t v)
-        (List.rev writes);
-      pleave prb "flat.apply"
-    end
+    let k = if k > 1 && m >= 2 * k then k else 1 in
+    deferred_sync_round t ~prb ~round ~members ~m ~domains:k
 
-  let compact t =
-    let live =
-      List.filter
-        (fun v ->
-          if t.dirty.(v) then begin
-            t.dirty.(v) <- false;
-            true
-          end
-          else false)
-        t.frontier
-    in
-    List.iter (fun v -> t.dirty.(v) <- true) live;
-    t.frontier <- live
+  let compact t = Frontier.compact t.frontier
 
   (* One asynchronous round: same schedule draw and skip rule as {!Make};
      fired nodes read fresh registers. *)
@@ -975,8 +893,8 @@ module Flat (P : Protocol.PACKED) = struct
     let schedule = Scheduler.round_schedule daemon (Graph.n t.graph) in
     List.iter
       (fun v ->
-        if t.dirty.(v) then begin
-          t.dirty.(v) <- false;
+        if Frontier.mem t.frontier v then begin
+          Frontier.unmark t.frontier v;
           t.metrics.Metrics.activations <- t.metrics.Metrics.activations + 1;
           let read u =
             if not (Graph.has_edge t.graph v u) then

@@ -88,13 +88,17 @@ let drive_flat ~domains ~seed g =
       ignore (F.inject net (Gen.rng (seed + 50 + r)) (Fault.make ~severity:Bit_flip ~count:2 ()));
     F.round net Scheduler.Sync
   done;
+  let m = F.metrics net in
   ( F.registers net,
-    Metrics.to_csv_row (F.metrics net),
+    Metrics.to_csv_row m,
     F.rounds net,
     F.peak_bits net,
     List.sort compare (F.alarming_nodes net),
     Array.init (Graph.n g) (F.last_write_round net),
-    List.rev !hooks )
+    List.rev !hooks,
+    (* named, not only via the CSV row: the sequential and parallel
+       branches of sync_round must account wasted/skipped identically *)
+    (m.Metrics.wasted_steps, m.Metrics.skipped_activations) )
 
 let flat_families seed =
   [
@@ -106,12 +110,14 @@ let flat_families seed =
 let test_flat_identity () =
   List.iter
     (fun (family, g) ->
-      let regs1, csv1, rounds1, peak1, alarms1, lw1, hooks1 =
+      let regs1, csv1, rounds1, peak1, alarms1, lw1, hooks1, acct1 =
         drive_flat ~domains:1 ~seed:4400 g
       in
       List.iter
         (fun d ->
-          let regs, csv, rounds, peak, alarms, lw, hooks = drive_flat ~domains:d ~seed:4400 g in
+          let regs, csv, rounds, peak, alarms, lw, hooks, acct =
+            drive_flat ~domains:d ~seed:4400 g
+          in
           let ctx what = Fmt.str "%s, -d %d: %s identical" family d what in
           Alcotest.(check bool) (ctx "register file") true (regs = regs1);
           Alcotest.(check string) (ctx "metrics CSV row") csv1 csv;
@@ -119,7 +125,8 @@ let test_flat_identity () =
           Alcotest.(check int) (ctx "peak bits") peak1 peak;
           Alcotest.(check bool) (ctx "alarm set") true (alarms = alarms1);
           Alcotest.(check bool) (ctx "last-write stamps") true (lw = lw1);
-          Alcotest.(check bool) (ctx "write-hook sequence") true (hooks = hooks1))
+          Alcotest.(check bool) (ctx "write-hook sequence") true (hooks = hooks1);
+          Alcotest.(check (pair int int)) (ctx "wasted/skipped accounting") acct1 acct)
         [ 2; 4 ])
     (flat_families 4400)
 

@@ -406,6 +406,59 @@ let sync_writes_ascending () =
         (List.sort compare nodes) nodes)
     per_round
 
+(* ---------------- monomorphic comparator regressions ---------------- *)
+
+(* Near-root selection sorts (distance, id) lexicographically; the PR-10
+   rewrite replaced the polymorphic tuple compare with a hand-rolled int
+   comparator, so pin the tie-break explicitly: on a star every leaf is
+   equidistant from the hub, and the f closest must be the root plus the
+   lowest-id leaves, in ascending order, independent of the RNG. *)
+let near_root_tie_break () =
+  let n = 12 in
+  let star = Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1, i + 1))) in
+  let m = Fault.make ~placement:(Near_root { root = 0 }) ~count:5 () in
+  Alcotest.(check (list int))
+    "equidistant ties break to the lowest ids, ascending" [ 0; 1; 2; 3; 4 ]
+    (Fault.choose_victims (rng 4) star m);
+  Alcotest.(check (list int))
+    "independent of RNG state" [ 0; 1; 2; 3; 4 ]
+    (Fault.choose_victims (rng 12345) star m)
+
+(* Campaign quantiles sort detection values with [Int.compare] (previously
+   polymorphic [compare]): unsorted input with duplicates must aggregate to
+   the same (min, lower-median, ceiling-p95) triple regardless of trial
+   order. *)
+let campaign_percentiles_sorted () =
+  let spec =
+    { Campaign.family = "grid"; n = 16; requested_n = 16; faults = 1; model = "uniform"; seed = 0 }
+  in
+  let trial dt =
+    {
+      Campaign.spec;
+      outcome =
+        {
+          Campaign.victims = [ 0 ];
+          injections = 1;
+          detection_rounds = Some dt;
+          detection_distance = Some dt;
+          rounds_run = dt;
+        };
+    }
+  in
+  let check values (min_, med, p95) =
+    match Campaign.aggregate (List.map trial values) with
+    | [ a ] ->
+        Alcotest.(check int) "dt_min" min_ a.Campaign.dt_min;
+        Alcotest.(check int) "dt_med" med a.Campaign.dt_med;
+        Alcotest.(check int) "dt_p95" p95 a.Campaign.dt_p95
+    | aggs -> Alcotest.failf "expected one aggregate row, got %d" (List.length aggs)
+  in
+  check [ 9; 2; 7; 2; 5 ] (2, 5, 9);
+  (* order-independence: a permutation aggregates identically *)
+  check [ 2; 5; 9; 7; 2 ] (2, 5, 9);
+  check [ 4 ] (4, 4, 4);
+  check [ 3; 3; 3; 3 ] (3, 3, 3)
+
 let suite =
   [
     Alcotest.test_case "victim choice is seed-deterministic" `Quick victims_deterministic;
@@ -432,4 +485,7 @@ let suite =
       restore_rebuilds_alarms;
     Alcotest.test_case "sync-round writes apply in ascending node id" `Quick
       sync_writes_ascending;
+    Alcotest.test_case "near-root ties break to the lowest ids" `Quick near_root_tie_break;
+    Alcotest.test_case "campaign percentiles sort their input" `Quick
+      campaign_percentiles_sorted;
   ]
